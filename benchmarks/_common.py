@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every ``bench_*.py`` module regenerates one experiment from DESIGN.md's
+index.  Tables are printed (visible with ``pytest -s``) *and* written to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote them
+after any run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.write("\n\n")
+
+
+def reset(experiment_id: str) -> None:
+    """Start a fresh results file for one experiment."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text("", encoding="utf-8")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (expensive end-to-end runs)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

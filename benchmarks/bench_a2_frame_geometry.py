@@ -1,0 +1,111 @@
+"""A2 — ablation: frame size m and round length w.
+
+The analysis needs (i) enough rounds per phase for the geometric settling
+of Lemma 4.20 to empty the last three inner-levels (invariant I_f), and
+(ii) rounds long enough for a packet to cross the frame plus deflection
+retries (Lemma 4.5's ``(w−m−1)/2 − m`` retries).  Shrinking w (or m) below
+the design point makes I_f/I_c violations appear and packets fall out of
+their frames — exactly the failure mode the invariants guard against.
+"""
+
+from repro.analysis import format_table
+from repro.core import AlgorithmParams
+from repro.experiments import deep_random_instance, run_frontier_trial
+from repro.rng import trial_seeds
+
+from _common import emit, once, reset
+
+SEEDS = trial_seeds(2718, 4)
+
+
+def sweep_geometry(problem, m, w_factor):
+    params = AlgorithmParams.practical(
+        max(1, problem.congestion),
+        problem.net.depth,
+        problem.num_packets,
+        m=m,
+        w_factor=w_factor,
+    )
+    delivered = 0
+    violations = {"I_c": 0, "I_f": 0}
+    makespans = []
+    for seed in SEEDS:
+        record = run_frontier_trial(
+            problem, seed=seed, params=params, audit=True, condition_sets=True
+        )
+        if record.result.all_delivered:
+            delivered += 1
+        makespans.append(record.result.makespan)
+        for key in violations:
+            violations[key] += record.audit.count(key)
+    return delivered, violations, sum(makespans) / len(makespans)
+
+
+def test_a2_round_length(benchmark):
+    reset("a2_frame_geometry")
+    problem = deep_random_instance(24, 6, 16, seed=81, low_congestion=False)
+    rows = []
+    for m, w_factor in [
+        (8, 0.5),   # w < m: a round cannot even cross the frame
+        (8, 1.0),
+        (8, 2.0),
+        (8, 4.0),
+        (8, 8.0),
+    ]:
+        delivered, violations, mean_t = sweep_geometry(problem, m, w_factor)
+        rows.append(
+            (
+                f"m={m}, w={int(w_factor * m)}",
+                f"{delivered}/{len(SEEDS)}",
+                violations["I_c"],
+                violations["I_f"],
+                int(mean_t),
+            )
+        )
+    emit(
+        "a2_frame_geometry",
+        format_table(
+            ["geometry", "delivered", "I_c violations", "I_f violations", "T (mean)"],
+            rows,
+            title=f"A2a: round-length ablation on {problem.describe()}",
+            note="reproduction finding: the receding target is self-pacing "
+            "— even rounds shorter than the frame stay clean at low "
+            "contention, because late rounds' targets sit within reach; "
+            "w scales time linearly without buying correctness here "
+            "(the binding margin is m, see A2b)",
+        ),
+    )
+    # The design point (w_factor >= 4) must be clean.
+    for row in rows[2:]:
+        assert row[2] == 0 and row[3] == 0, row
+
+    once(benchmark, sweep_geometry, problem, 8, 8.0)
+
+
+def test_a2_frame_size(benchmark):
+    problem = deep_random_instance(24, 6, 16, seed=82, low_congestion=False)
+    rows = []
+    for m in (4, 6, 8, 12, 16):
+        delivered, violations, mean_t = sweep_geometry(problem, m, 8.0)
+        rows.append(
+            (
+                f"m={m}",
+                f"{delivered}/{len(SEEDS)}",
+                violations["I_c"],
+                violations["I_f"],
+                int(mean_t),
+            )
+        )
+    emit(
+        "a2_frame_geometry",
+        format_table(
+            ["frame size", "delivered", "I_c violations", "I_f violations", "T (mean)"],
+            rows,
+            title=f"A2b: frame-size ablation on {problem.describe()}",
+            note="small m leaves too few rounds for every packet to settle "
+            "before the 3-level I_f margin; large m inflates every phase "
+            "(T grows ~quadratically in m via phases x steps-per-phase)",
+        ),
+    )
+
+    once(benchmark, sweep_geometry, problem, 8, 8.0)

@@ -1,0 +1,111 @@
+"""A4 — ablation: the buffer spectrum from bufferless to unbounded.
+
+The paper's framing places hot-potato routing at the zero-buffer extreme
+and cites Leighton et al.'s constant-buffer `O(C + L + log N)` result [16]
+as the buffered reference.  This bench sweeps per-edge buffer capacity
+``k`` on heavy instances:
+
+* ``k = 1..∞`` — bounded-buffer store-and-forward with backpressure
+  (:class:`repro.baselines.BoundedBufferScheduler`; unbounded =
+  :class:`~repro.baselines.StoreForwardScheduler`);
+* ``k = 0`` — the bufferless routers (naive deflection and the paper's
+  frontier-frame algorithm).
+
+Expected shape: completion time is already near-optimal at small constant
+``k`` (the [16] message), blocking pressure falls rapidly with ``k``, and
+the bufferless column pays either deflection churn (naive, no guarantee)
+or the polylog schedule (the paper's algorithm, guaranteed).
+"""
+
+from repro.analysis import format_table
+from repro.baselines import (
+    BoundedBufferScheduler,
+    NaivePathRouter,
+    StoreForwardScheduler,
+)
+from repro.experiments import (
+    baseline_budget,
+    funnel_instance,
+    mesh_corner_shift_instance,
+    run_frontier_trial,
+    run_router_trial,
+)
+
+from _common import emit, once, reset
+
+
+def buffer_sweep(problem, seed=0):
+    rows = []
+    naive = run_router_trial(
+        problem, lambda s: NaivePathRouter(), seed, baseline_budget(problem)
+    )
+    rows.append(
+        (
+            "k=0 (naive deflection)",
+            naive.makespan,
+            f"{naive.makespan / max(1, problem.lower_bound):.1f}x",
+            naive.total_deflections,
+            "-",
+        )
+    )
+    for k in (1, 2, 4, 8):
+        result = BoundedBufferScheduler(problem, buffer_size=k, seed=seed).run()
+        assert result.all_delivered, result.summary()
+        rows.append(
+            (
+                f"k={k}",
+                result.makespan,
+                f"{result.makespan / max(1, problem.lower_bound):.1f}x",
+                int(result.extra["blocked_steps"]),
+                int(result.extra["max_buffer_occupancy"]),
+            )
+        )
+    unbounded = StoreForwardScheduler(problem, seed=seed).run()
+    rows.append(
+        (
+            "k=inf (unbounded)",
+            unbounded.makespan,
+            f"{unbounded.makespan / max(1, problem.lower_bound):.1f}x",
+            0,
+            int(unbounded.extra["max_queue_depth"]),
+        )
+    )
+    frontier = run_frontier_trial(problem, seed=seed, m=8, w_factor=8.0).result
+    rows.append(
+        (
+            "k=0 (frontier-frame, guaranteed)",
+            frontier.makespan,
+            f"{frontier.makespan / max(1, problem.lower_bound):.1f}x",
+            frontier.total_deflections,
+            "-",
+        )
+    )
+    return rows, naive, unbounded
+
+
+def test_a4_buffer_spectrum(benchmark):
+    reset("a4_buffers")
+    for name, problem in [
+        ("funnel C=N on bf(5)", funnel_instance(5, 12, seed=95)),
+        ("mesh 12x12 corner shift", mesh_corner_shift_instance(12)),
+    ]:
+        rows, naive, unbounded = buffer_sweep(problem)
+        emit(
+            "a4_buffers",
+            format_table(
+                ["buffers", "T", "T/max(C,D)", "blocked/defl", "peak occupancy"],
+                rows,
+                title=f"A4: buffer spectrum on {name} — {problem.describe()}",
+                note="constant buffers already deliver near the C+D bound "
+                "([16]'s message); blocking pressure falls sharply with k; "
+                "bufferless routing trades buffers for deflections (naive) "
+                "or for the guaranteed polylog schedule (the paper)",
+            ),
+        )
+        # Shape assertions: k=1 already delivers; time is monotone-ish
+        # toward the unbounded value.
+        times = [row[1] for row in rows[1:6]]
+        assert times[-1] <= times[0] + 2
+
+    problem = mesh_corner_shift_instance(12)
+    once(benchmark, buffer_sweep, problem)

@@ -1,0 +1,73 @@
+"""E1 — Figure 1: leveled-network topologies.
+
+The paper's Figure 1 shows a generic leveled network plus the butterfly and
+mesh as canonical instances, and Section 1.1 lists the shuffle-exchange,
+multidimensional array, hypercube and fat-tree as further members of the
+family.  This bench builds every family member, re-derives the leveled
+property from scratch, and prints the structural table; the timed portion
+is topology construction + validation.
+"""
+
+from repro.analysis import format_table
+from repro.net import (
+    MeshCorner,
+    butterfly,
+    fat_tree,
+    hypercube,
+    mesh,
+    multidim_array,
+    omega_network,
+    profile,
+    random_leveled,
+    validate_leveled,
+)
+
+from _common import emit, once, reset
+
+
+def family():
+    yield "butterfly(4)", butterfly(4)
+    yield "butterfly(6)", butterfly(6)
+    yield "mesh 8x8 (NW)", mesh(8, 8)
+    yield "mesh 8x8 (SE)", mesh(8, 8, MeshCorner.SOUTH_EAST)
+    yield "mesh 12x12", mesh(12, 12)
+    yield "hypercube(6)", hypercube(6)
+    yield "array 4x4x4", multidim_array((4, 4, 4))
+    yield "omega(5)", omega_network(5)
+    yield "fat-tree h=5", fat_tree(5)
+    yield "random 10x16", random_leveled([10] * 17, 0.4, seed=0)
+
+
+def test_e1_topology_validation(benchmark):
+    reset("e1_topologies")
+    rows = []
+    for name, net in family():
+        report = validate_leveled(net)
+        assert report.ok, f"{name}: {report.problems}"
+        prof = profile(net)
+        rows.append(
+            (
+                name,
+                prof.depth,
+                prof.num_nodes,
+                prof.num_edges,
+                f"{prof.min_degree}..{prof.max_degree}",
+                "yes" if report.ok else "NO",
+            )
+        )
+    emit(
+        "e1_topologies",
+        format_table(
+            ["topology", "L", "|V|", "|E|", "degree", "leveled?"],
+            rows,
+            title="E1 (Figure 1): leveled-network family, structural audit",
+            note="every edge joins consecutive levels; every node has "
+            "exactly one level (re-derived from scratch by the validator)",
+        ),
+    )
+
+    def build_and_validate():
+        for _name, net in family():
+            assert validate_leveled(net).ok
+
+    once(benchmark, build_and_validate)

@@ -1,0 +1,75 @@
+"""Engine microbenchmarks: simulation throughput.
+
+Not a paper experiment — these track the simulator's own performance so
+regressions in the hot loops (arbitration, deflection matching, the
+quiescence fast-forward) are visible.  Unlike the experiment benches these
+use pytest-benchmark's normal calibration (many rounds).
+"""
+
+import pytest
+
+from repro.baselines import NaivePathRouter
+from repro.core import AlgorithmParams, FrontierFrameRouter
+from repro.experiments import butterfly_random_instance, deep_random_instance
+from repro.net import butterfly
+from repro.sim import Engine
+
+
+@pytest.fixture(scope="module")
+def big_problem():
+    return deep_random_instance(32, 8, 24, seed=7, low_congestion=False)
+
+
+def test_throughput_naive_router(benchmark, big_problem):
+    def run():
+        result = Engine(big_problem, NaivePathRouter(), seed=0).run(5000)
+        assert result.all_delivered
+        return result
+
+    result = benchmark(run)
+    assert result.all_delivered
+
+
+def test_throughput_frontier_router(benchmark, big_problem):
+    params = AlgorithmParams.practical(
+        big_problem.congestion,
+        big_problem.net.depth,
+        big_problem.num_packets,
+        m=6,
+        w_factor=6.0,
+    )
+
+    def run():
+        engine = Engine(
+            big_problem, FrontierFrameRouter(params, seed=1), seed=2
+        )
+        return engine.run(params.total_steps)
+
+    result = benchmark(run)
+    assert result.all_delivered
+
+
+def test_throughput_fast_forward_speedup(benchmark, big_problem):
+    """Fast-forward must skip the large majority of scheduled steps."""
+    params = AlgorithmParams.practical(
+        big_problem.congestion,
+        big_problem.net.depth,
+        big_problem.num_packets,
+        m=6,
+        w_factor=6.0,
+    )
+
+    def run():
+        engine = Engine(
+            big_problem, FrontierFrameRouter(params, seed=1), seed=2,
+            enable_fast_forward=True,
+        )
+        return engine.run(params.total_steps)
+
+    result = benchmark(run)
+    assert result.steps_skipped > 2 * result.steps_executed
+
+
+def test_throughput_topology_construction(benchmark):
+    net = benchmark(butterfly, 8)
+    assert net.num_nodes == 9 * 256

@@ -1,0 +1,95 @@
+"""T0 — running the paper's *exact* Section 2.1 constants to completion.
+
+The paper concedes its algorithm "is not really practical, in the sense of
+direct applicability": with the reconstructed constants even toy instances
+schedule tens of millions of steps (`w ≈ 2·10⁴ … 10⁶` steps per round).
+Thanks to the quiescence fast-forward — wait-state oscillation is
+deterministic, so the engine advances it analytically — those schedules
+are *actually executable*, making this the only bench that runs the
+algorithm exactly as stated in the paper, no scaled constants anywhere.
+
+Checks: every packet is absorbed within Theorem 4.26's schedule
+`(amC + L)·m·w`, across multiple independent seeds (the theorem's
+`1 − 1/LN` probability regime), with zero unsafe deflections.
+"""
+
+from repro.analysis import format_table
+from repro.core import AlgorithmParams, FrontierFrameRouter
+from repro.net import butterfly
+from repro.paths import select_paths_bit_fixing
+from repro.sim import Engine
+from repro.workloads import butterfly_workloads
+
+from _common import emit, once, reset
+
+
+def build_instance(dim, num_packets, seed):
+    net = butterfly(dim)
+    wl = butterfly_workloads.random_end_to_end(net, num_packets, seed=seed)
+    return select_paths_bit_fixing(net, wl.endpoints)
+
+
+def run_exact(problem, seed):
+    params = AlgorithmParams.theory_exact(
+        max(1, problem.congestion), problem.net.depth, problem.num_packets
+    )
+    engine = Engine(problem, FrontierFrameRouter(params, seed=seed), seed=seed + 1)
+    result = engine.run(params.total_steps)
+    return params, result
+
+
+def test_t0_exact_constants_run_to_completion(benchmark):
+    reset("t0_theory_exact")
+    rows = []
+    for dim, n in [(2, 3), (2, 4), (3, 6)]:
+        problem = build_instance(dim, n, seed=dim * 17 + n)
+        successes = 0
+        sample = None
+        for seed in (5, 6, 7):
+            params, result = run_exact(problem, seed)
+            if result.all_delivered:
+                successes += 1
+            assert result.unsafe_deflections == 0
+            assert result.makespan <= params.total_steps
+            sample = (params, result)
+        params, result = sample
+        rows.append(
+            (
+                f"bf({dim}) N={n}",
+                problem.congestion,
+                params.num_sets,
+                params.m,
+                params.w,
+                f"{params.total_steps:.2e}",
+                f"{result.makespan:.2e}",
+                result.steps_executed,
+                f"{successes}/3",
+            )
+        )
+        assert successes == 3  # the 1 - 1/LN regime
+    emit(
+        "t0_theory_exact",
+        format_table(
+            [
+                "instance",
+                "C",
+                "aC sets",
+                "m",
+                "w (steps/round)",
+                "schedule",
+                "makespan",
+                "steps executed",
+                "delivered",
+            ],
+            rows,
+            title="T0: the paper's EXACT Section 2.1 constants, run to "
+            "completion",
+            note="tens of millions of scheduled steps collapse to a "
+            "handful of executed ones (everything else is deterministic "
+            "wait oscillation, advanced analytically); all packets "
+            "delivered within Theorem 4.26's bound on every seed",
+        ),
+    )
+
+    problem = build_instance(2, 3, seed=37)
+    once(benchmark, run_exact, problem, 5)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Routing an arbitrary DAG with the leveled-network algorithm.
+
+The paper closes with: "It is interesting to extend our work for arbitrary
+network topologies."  For *acyclic* topologies there is a clean reduction
+(`repro.net.unroll`): layer nodes by longest path, subdivide layer-skipping
+edges with relay nodes, and the DAG becomes a leveled network whose
+monotone routes are exactly the DAG's directed paths.  The frontier-frame
+algorithm then applies verbatim — this example routes random traffic over
+a random DAG through that reduction, with the invariant auditor on.
+
+Run:  python examples/arbitrary_dag.py [nodes] [edge_prob%] [packets] [seed]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.experiments import run_frontier_trial
+from repro.net import random_dag, unroll_dag, validate_leveled
+from repro.paths import select_paths_random
+from repro.rng import make_rng
+
+
+def main(num_nodes: int = 40, edge_prob_pct: int = 12, packets: int = 10,
+         seed: int = 0) -> None:
+    nodes, edges = random_dag(num_nodes, edge_prob_pct / 100.0, seed=seed)
+    unrolled = unroll_dag(nodes, edges, name=f"dag{num_nodes}")
+    net = unrolled.net
+    report = validate_leveled(net)
+    assert report.ok
+
+    print(f"DAG: {num_nodes} nodes, {len(edges)} edges")
+    print(f"leveled image: {net.describe()} "
+          f"(+{unrolled.num_relays} relay nodes)")
+
+    rng = make_rng(seed + 1)
+    endpoints = []
+    used = set()
+    for u in rng.permutation(num_nodes):
+        src = unrolled.node_of[int(u)]
+        if src in used:
+            continue
+        reach = [
+            v
+            for v in sorted(net.forward_reachable(src))
+            if v != src and not unrolled.is_relay[v]
+        ]
+        if reach:
+            used.add(src)
+            endpoints.append((src, reach[int(rng.integers(0, len(reach)))]))
+        if len(endpoints) == packets:
+            break
+    problem = select_paths_random(net, endpoints, seed=seed + 2)
+    record = run_frontier_trial(
+        problem, seed=seed + 3, audit=True, condition_sets=True,
+        m=6, w_factor=8.0,
+    )
+    assert record.result.all_delivered, record.result.summary()
+
+    print()
+    print(format_table(
+        ["packets", "C", "D", "L", "T", "deflections", "invariants"],
+        [(
+            problem.num_packets,
+            problem.congestion,
+            problem.dilation,
+            net.depth,
+            record.result.makespan,
+            record.result.total_deflections,
+            record.audit.summary(),
+        )],
+        title="frontier-frame routing on the unrolled DAG",
+        note="relay nodes are pass-throughs: DAG congestion maps "
+        "edge-for-edge onto the leveled image",
+    ))
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:5]]
+    main(*args)

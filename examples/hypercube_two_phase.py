@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Extension: arbitrary hypercube traffic as two leveled phases.
+
+The paper closes with "it is interesting to extend our work for arbitrary
+network topologies."  The hypercube gives the cleanest such extension: the
+Hamming-weight leveling only supports monotone (bit-*setting*) routes, but
+any source→destination pair factors through the bitwise OR:
+
+    up phase   : x  →  x|y   (set the bits of y missing from x;
+                              ascending weight leveling)
+    down phase : x|y →  y    (clear the bits of x missing from y;
+                              complemented, descending leveling)
+
+Each leg is a leveled many-to-one problem, so the frontier-frame algorithm
+routes both with its Õ(C+L) guarantee; ``repro.core.run_multiphase``
+chains them.
+
+Run:  python examples/hypercube_two_phase.py [dim] [packets] [seed]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.core import run_multiphase
+from repro.net import hypercube, hypercube_node
+from repro.paths import select_paths_random
+from repro.rng import make_rng
+
+
+def sample_pairs(dim, packets, rng):
+    """Random pairs with distinct sources, distinct OR-intermediates, and
+    both legs non-trivial (so each phase is a well-formed instance)."""
+    pairs = []
+    used_sources, used_mids = set(), set()
+    space = 1 << dim
+    attempts = 0
+    while len(pairs) < packets and attempts < 50 * packets:
+        attempts += 1
+        x = int(rng.integers(0, space))
+        y = int(rng.integers(0, space))
+        mid = x | y
+        if x == y or mid == x or mid == y:
+            continue  # degenerate leg
+        if x in used_sources or mid in used_mids:
+            continue
+        used_sources.add(x)
+        used_mids.add(mid)
+        pairs.append((x, y))
+    return pairs
+
+
+def main(dim: int = 6, packets: int = 12, seed: int = 0) -> None:
+    rng = make_rng(seed)
+    pairs = sample_pairs(dim, packets, rng)
+    up_net = hypercube(dim)
+    down_net = hypercube(dim, descending=True)
+
+    up_endpoints = [
+        (hypercube_node(up_net, x), hypercube_node(up_net, x | y))
+        for x, y in pairs
+    ]
+    down_endpoints = [
+        (hypercube_node(down_net, x | y), hypercube_node(down_net, y))
+        for x, y in pairs
+    ]
+    up = select_paths_random(up_net, up_endpoints, seed=seed + 1)
+    down = select_paths_random(down_net, down_endpoints, seed=seed + 2)
+
+    outcome = run_multiphase([up, down], seed=seed + 3, m=6, w_factor=8.0)
+    assert outcome.all_delivered, outcome.summary()
+
+    rows = [
+        (
+            "up (set bits)",
+            up.num_packets,
+            up.congestion,
+            up.dilation,
+            outcome.phase_results[0].makespan,
+        ),
+        (
+            "down (clear bits)",
+            down.num_packets,
+            down.congestion,
+            down.dilation,
+            outcome.phase_results[1].makespan,
+        ),
+    ]
+    print(f"hypercube({dim}): {len(pairs)} arbitrary pairs routed in two "
+          "leveled phases\n")
+    print(format_table(
+        ["phase", "packets", "C", "D", "T"],
+        rows,
+        title="two-phase hypercube routing via the frontier-frame algorithm",
+        note=outcome.summary(),
+    ))
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Trees as leveled networks: leaf-to-leaf routing in two phases.
+
+The paper's related work includes hot-potato routing on trees (its
+reference [2], and the companion Busch et al. tree papers).  A tree is
+leveled in both orientations (leaves-up or root-down), so a leaf-to-leaf
+route factors exactly like the hypercube example:
+
+    up phase   : leaf  → least common ancestor   (leaves at level 0)
+    down phase : LCA   → destination leaf        (root at level 0)
+
+Each phase is a leveled many-to-one instance for the frontier-frame
+algorithm; ``run_multiphase`` chains them.
+
+Run:  python examples/tree_routing.py [height] [packets] [seed]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.core import run_multiphase
+from repro.net import complete_binary_tree, tree_node
+from repro.paths import PacketSpec, Path, RoutingProblem, first_monotone_path
+from repro.rng import make_rng
+
+
+def lca_depth(a: int, b: int, height: int) -> int:
+    """Depth of the least common ancestor of two leaf indices."""
+    depth = height
+    while a != b:
+        a //= 2
+        b //= 2
+        depth -= 1
+    return depth
+
+
+def ancestor(index: int, from_depth: int, to_depth: int) -> int:
+    """Leaf-index path compression: ancestor of a node at a higher depth."""
+    return index >> (from_depth - to_depth)
+
+
+def main(height: int = 5, packets: int = 10, seed: int = 0) -> None:
+    rng = make_rng(seed)
+    leaves = 1 << height
+    up_net = complete_binary_tree(height, root_at_top=False)   # leaves level 0
+    down_net = complete_binary_tree(height, root_at_top=True)  # root level 0
+
+    # Random leaf pairs with distinct sources and distinct LCAs (one packet
+    # per source node per leveled instance).
+    pairs = []
+    used_src, used_lca = set(), set()
+    while len(pairs) < packets:
+        a = int(rng.integers(0, leaves))
+        b = int(rng.integers(0, leaves))
+        if a == b or a in used_src:
+            continue
+        d = lca_depth(a, b, height)
+        lca = (d, ancestor(a, height, d))
+        if lca in used_lca:
+            continue
+        used_src.add(a)
+        used_lca.add(lca)
+        pairs.append((a, b, d))
+
+    # Up phase: each tree has a unique root-ward path; build it explicitly.
+    up_specs, down_specs = [], []
+    for k, (a, b, d) in enumerate(pairs):
+        lca_index = ancestor(a, height, d)
+        src_up = tree_node(up_net, height, a)
+        dst_up = tree_node(up_net, d, lca_index)
+        up_specs.append(
+            PacketSpec(k, src_up, dst_up,
+                       first_monotone_path(up_net, src_up, dst_up))
+        )
+        src_down = tree_node(down_net, d, lca_index)
+        dst_down = tree_node(down_net, height, b)
+        down_specs.append(
+            PacketSpec(k, src_down, dst_down,
+                       first_monotone_path(down_net, src_down, dst_down))
+        )
+    up = RoutingProblem(up_net, up_specs)
+    down = RoutingProblem(down_net, down_specs)
+
+    outcome = run_multiphase([up, down], seed=seed + 1, m=6, w_factor=8.0)
+    assert outcome.all_delivered, outcome.summary()
+
+    rows = [
+        ("up (leaf -> LCA)", up.num_packets, up.congestion, up.dilation,
+         outcome.phase_results[0].makespan),
+        ("down (LCA -> leaf)", down.num_packets, down.congestion,
+         down.dilation, outcome.phase_results[1].makespan),
+    ]
+    print(f"binary tree height {height}: {packets} leaf-to-leaf packets, "
+          "two leveled phases\n")
+    print(format_table(
+        ["phase", "packets", "C", "D", "T"],
+        rows,
+        title="two-phase tree routing via the frontier-frame algorithm",
+        note=outcome.summary(),
+    ))
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package (and no network), so
+PEP-517 editable installs cannot build an editable wheel.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+environments that do have wheel) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Statistics, bound evaluators, regression, and report rendering."""
+
+from .stats import Summary, summarize, bootstrap_ci, success_rate, wilson_interval
+from .chernoff import (
+    chernoff_upper_tail,
+    binomial_tail_exact,
+    per_edge_exceedance,
+    lemma22_failure_bound,
+    predicted_max_set_congestion_quantile,
+    empirical_exceedance_rate,
+)
+from .bounds import (
+    trivial_lower_bound,
+    polylog_factor,
+    BoundsComparison,
+    compare_with_bounds,
+    effective_polylog_exponent,
+    theory_constants_table,
+)
+from .fitting import (
+    LinearFit,
+    fit_through_origin,
+    AffineFit,
+    fit_affine,
+    fit_power_law,
+    correlation,
+)
+from .report import format_table, format_kv, print_table
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "success_rate",
+    "wilson_interval",
+    "chernoff_upper_tail",
+    "binomial_tail_exact",
+    "per_edge_exceedance",
+    "lemma22_failure_bound",
+    "predicted_max_set_congestion_quantile",
+    "empirical_exceedance_rate",
+    "trivial_lower_bound",
+    "polylog_factor",
+    "BoundsComparison",
+    "compare_with_bounds",
+    "effective_polylog_exponent",
+    "theory_constants_table",
+    "LinearFit",
+    "fit_through_origin",
+    "AffineFit",
+    "fit_affine",
+    "fit_power_law",
+    "correlation",
+    "format_table",
+    "format_kv",
+    "print_table",
+]

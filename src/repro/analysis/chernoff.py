@@ -1,0 +1,115 @@
+"""Chernoff machinery for Lemma 2.2.
+
+Splitting ``N`` packets uniformly into ``num_sets`` frontier-sets makes each
+edge's per-set congestion a sum of at most ``C`` independent Bernoulli
+``1/num_sets`` variables.  Lemma 2.2 bounds the probability any ``C_i``
+exceeds ``ln(LN)``; experiment T4 compares the realized distribution of
+``max_i C_i`` with these predictions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ParameterError
+
+
+def chernoff_upper_tail(mu: float, x: float) -> float:
+    """``P[X >= x] <= (e·mu/x)^x`` for a Poisson-dominated sum with mean mu.
+
+    The classic multiplicative Chernoff bound in its ``(eμ/x)^x`` form,
+    valid for sums of independent ``[0, 1]`` variables when ``x > mu``.
+    """
+    if mu < 0:
+        raise ParameterError(f"mean must be non-negative, got {mu}")
+    if x <= mu:
+        return 1.0
+    if mu == 0.0:
+        return 0.0
+    return (math.e * mu / x) ** x
+
+
+def binomial_tail_exact(n: int, p: float, x: int) -> float:
+    """Exact ``P[Binomial(n, p) >= x]`` (direct summation; n is small)."""
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be a probability, got {p}")
+    if x <= 0:
+        return 1.0
+    if x > n:
+        return 0.0
+    total = 0.0
+    for k in range(x, n + 1):
+        total += math.comb(n, k) * p**k * (1.0 - p) ** (n - k)
+    return min(1.0, total)
+
+
+def per_edge_exceedance(
+    congestion: int, num_sets: int, bound: float, exact: bool = True
+) -> float:
+    """``P[one edge's one set's congestion > bound]``.
+
+    The per-set load of an edge crossed by ``c_e <= C`` packets is
+    ``Binomial(c_e, 1/num_sets)``; we bound with ``c_e = C``.
+    """
+    if num_sets < 1:
+        raise ParameterError(f"num_sets must be >= 1, got {num_sets}")
+    threshold = math.floor(bound) + 1
+    if exact:
+        return binomial_tail_exact(congestion, 1.0 / num_sets, threshold)
+    return chernoff_upper_tail(congestion / num_sets, threshold)
+
+
+def lemma22_failure_bound(
+    congestion: int,
+    depth: int,
+    num_packets: int,
+    num_sets: int,
+    num_edges: int,
+    bound: float,
+    exact: bool = True,
+) -> float:
+    """Union bound on ``P[max_i C_i > bound]`` over all (edge, set) pairs.
+
+    Lemma 2.2 states this is at most ``1 − p₀ = 1/(2LN)`` with the paper's
+    ``aC`` sets and ``bound = ln(LN)``; with the practical parameterization
+    the same union bound is evaluated at the configured values.
+    """
+    if depth < 1 or num_packets < 1:
+        raise ParameterError("need depth >= 1 and num_packets >= 1")
+    single = per_edge_exceedance(congestion, num_sets, bound, exact=exact)
+    return min(1.0, num_edges * num_sets * single)
+
+
+def predicted_max_set_congestion_quantile(
+    congestion: int,
+    num_sets: int,
+    num_edges: int,
+    quantile: float = 0.5,
+) -> int:
+    """Smallest ``b`` with union-bound ``P[max C_i > b] <= 1 − quantile``.
+
+    A (conservative) prediction of where the realized ``max_i C_i`` should
+    concentrate; T4 plots realized values against this.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ParameterError(f"quantile must be in (0, 1), got {quantile}")
+    tail_budget = 1.0 - quantile
+    for b in range(0, congestion + 1):
+        tail = num_edges * num_sets * per_edge_exceedance(
+            congestion, num_sets, float(b), exact=True
+        )
+        if tail <= tail_budget:
+            return b
+    return congestion
+
+
+def empirical_exceedance_rate(
+    realized_maxima: Sequence[int], bound: float
+) -> float:
+    """Fraction of trials whose ``max_i C_i`` exceeded the bound."""
+    if not realized_maxima:
+        raise ParameterError("no realized maxima supplied")
+    return sum(1 for value in realized_maxima if value > bound) / len(
+        realized_maxima
+    )

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print their reproduction tables through these helpers so every
+experiment's output has the same shape: a title, a column header, aligned
+rows, and an optional note.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    note: str | None = None,
+) -> str:
+    """Render an aligned monospaced table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append("")
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_kv(pairs: dict, title: str | None = None) -> str:
+    """Render a key/value block (parameter dumps)."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)}  {_cell(value)}")
+    return "\n".join(lines)
+
+
+def print_table(*args, **kwargs) -> None:
+    """``print(format_table(...))`` with a leading blank line."""
+    print()
+    print(format_table(*args, **kwargs))

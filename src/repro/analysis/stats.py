@@ -1,0 +1,106 @@
+"""Summary statistics for experiment trials.
+
+Plain numpy implementations (mean/median/std, percentiles, bootstrap
+confidence intervals) so result tables carry uncertainty, not just point
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric across trials."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.2f}±{self.std:.2f} "
+            f"[{self.minimum:.0f}, {self.median:.0f}, {self.maximum:.0f}]"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        n=len(arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: RngLike = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if len(values) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 1:
+        return float(arr[0]), float(arr[0])
+    rng = make_rng(seed)
+    indexes = rng.integers(0, len(arr), size=(num_resamples, len(arr)))
+    means = arr[indexes].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def success_rate(outcomes: Sequence[bool]) -> float:
+    """Fraction of ``True`` outcomes."""
+    if len(outcomes) == 0:
+        raise ValueError("cannot take the rate of an empty sample")
+    return sum(1 for ok in outcomes if ok) / len(outcomes)
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation near rates of 0 or 1 —
+    exactly the regime of experiment T6 (success probability ≈ 1 − 1/LN).
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside 0..{trials}")
+    # z for the two-sided confidence level (inverse normal CDF via scipy-free
+    # rational approximation is overkill; the standard values suffice).
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = z_table.get(round(confidence, 2))
+    if z is None:
+        raise ValueError(f"unsupported confidence {confidence}; use 0.90/0.95/0.99")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * ((p * (1 - p) / trials + z * z / (4 * trials * trials)) ** 0.5)
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)

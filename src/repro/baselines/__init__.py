@@ -1,0 +1,19 @@
+"""Comparator algorithms: bufferless strawmen and buffered references."""
+
+from .naive import NaivePathRouter
+from .greedy_hotpotato import GreedyHotPotatoRouter
+from .randomized_greedy import RandomizedGreedyRouter
+from .store_forward import QueuePolicy, StoreForwardScheduler
+from .bounded_buffers import BoundedBufferScheduler
+from .random_delay import random_delay_scheduler, run_random_delay
+
+__all__ = [
+    "NaivePathRouter",
+    "GreedyHotPotatoRouter",
+    "RandomizedGreedyRouter",
+    "QueuePolicy",
+    "StoreForwardScheduler",
+    "BoundedBufferScheduler",
+    "random_delay_scheduler",
+    "run_random_delay",
+]

@@ -1,0 +1,198 @@
+"""Store-and-forward routing with *bounded* buffers and backpressure.
+
+The paper's context sentence: Leighton–Maggs–Ranade–Rao route leveled
+networks in ``O(C + L + log N)`` with **constant-size buffers** [16], while
+hot-potato routing is the extreme case of **zero** buffers.  This scheduler
+fills in the spectrum: every node holds at most ``buffer_size`` packets per
+outgoing edge; a packet may only traverse an edge if the destination node
+has a free slot for its *next* edge (backpressure), and injections stall
+while the source buffer is full.
+
+With ``buffer_size = 1`` this is near the bufferless regime (but with
+blocking instead of deflection); as ``buffer_size → ∞`` it converges to
+:class:`repro.baselines.store_forward.StoreForwardScheduler`.  Experiment
+A4 sweeps the knob.
+
+Deadlock note: on a *leveled* network the buffer-wait graph follows edges
+toward higher levels only and packets at the top level always drain, so
+backpressure cannot deadlock — a nice corollary of levelness that the unit
+tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..paths import RoutingProblem
+from ..rng import RngLike, make_rng
+from ..sim import RunResult
+from ..types import EdgeId, PacketId
+
+
+class BoundedBufferScheduler:
+    """Synchronous store-and-forward with per-edge output buffers.
+
+    Parameters
+    ----------
+    problem:
+        Routing problem; packets follow their preselected paths.
+    buffer_size:
+        Capacity of each (node, outgoing edge) FIFO buffer, in packets.
+    """
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        buffer_size: int = 2,
+        seed: RngLike = None,
+    ) -> None:
+        if buffer_size < 1:
+            raise SimulationError(
+                f"buffer size must be >= 1, got {buffer_size}"
+            )
+        self.problem = problem
+        self.buffer_size = buffer_size
+        self.rng = make_rng(seed)
+        self._paths = [spec.path.edges for spec in problem]
+        self._next_index = [0] * problem.num_packets
+        #: FIFO buffer at the tail of each edge
+        self.buffers: Dict[EdgeId, Deque[PacketId]] = {}
+        self.delivery_times: List[Optional[int]] = [None] * problem.num_packets
+        self.injected = [False] * problem.num_packets
+        self.t = 0
+        self.delivered = 0
+        self.blocked_steps = 0
+        self.stalled_injections = 0
+        self.peak_occupancy = 0
+
+    # -------------------------------------------------------------- helpers
+
+    def _buffer(self, edge: EdgeId) -> Deque[PacketId]:
+        buf = self.buffers.get(edge)
+        if buf is None:
+            buf = deque()
+            self.buffers[edge] = buf
+        return buf
+
+    def _has_room(self, edge: EdgeId, incoming: Dict[EdgeId, int]) -> bool:
+        """Whether ``edge``'s buffer can accept one more packet this step.
+
+        ``incoming`` counts packets already promised to each buffer during
+        the current step's resolution; the live deque length already
+        reflects departures (popped when their move was resolved).
+        """
+        return (
+            len(self.buffers.get(edge, ())) + incoming.get(edge, 0)
+            < self.buffer_size
+        )
+
+    # ----------------------------------------------------------------- step
+
+    def step(self) -> None:
+        """One synchronous step with backpressure.
+
+        Processing order is by the tail level of the edge, *highest first*,
+        so a packet freeing a buffer this step makes room for the level
+        below — the drain direction of the leveled DAG.
+        """
+        net = self.problem.net
+        incoming: Dict[EdgeId, int] = {}
+        moves: List[PacketId] = []
+
+        edges_by_level = sorted(
+            (e for e, buf in self.buffers.items() if buf),
+            key=lambda e: -net.level(net.edge_src(e)),
+        )
+        for edge in edges_by_level:
+            buf = self.buffers[edge]
+            pid = buf[0]
+            index = self._next_index[pid] + 1
+            path = self._paths[pid]
+            if index >= len(path):
+                # Next hop is the destination: always accepted (absorbed).
+                buf.popleft()
+                moves.append(pid)
+                continue
+            nxt = path[index]
+            # Higher levels were processed first, so nxt's deque already
+            # reflects this step's departure (if any); only same-step
+            # arrivals need explicit accounting.
+            if self._has_room(nxt, incoming):
+                buf.popleft()
+                moves.append(pid)
+                incoming[nxt] = incoming.get(nxt, 0) + 1
+            else:
+                self.blocked_steps += 1
+
+        # Injections: a packet enters its first buffer when there is room.
+        for pid in range(self.problem.num_packets):
+            if self.injected[pid]:
+                continue
+            first = self._paths[pid][0]
+            if self._has_room(first, incoming):
+                self.injected[pid] = True
+                self._buffer(first).append(pid)
+                incoming[first] = incoming.get(first, 0) + 1
+            else:
+                self.stalled_injections += 1
+
+        # Apply moves: advance cursors and enqueue at the next buffer.
+        for pid in moves:
+            self._next_index[pid] += 1
+            index = self._next_index[pid]
+            path = self._paths[pid]
+            if index >= len(path):
+                self.delivery_times[pid] = self.t + 1
+                self.delivered += 1
+            else:
+                self._buffer(path[index]).append(pid)
+        depth = max((len(buf) for buf in self.buffers.values()), default=0)
+        if depth > self.peak_occupancy:
+            self.peak_occupancy = depth
+        self.t += 1
+
+    @property
+    def done(self) -> bool:
+        """All packets delivered."""
+        return self.delivered == self.problem.num_packets
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run to completion (or budget); return engine-compatible metrics."""
+        budget = (
+            max_steps
+            if max_steps is not None
+            else (self.problem.congestion + 2)
+            * (self.problem.dilation + 2)
+            * max(2, self.buffer_size)
+            + 4 * self.problem.num_packets
+            + 64
+        )
+        while not self.done and self.t < budget:
+            self.step()
+        return RunResult(
+            router_name=f"BoundedBuffers(k={self.buffer_size})",
+            network_name=self.problem.net.name,
+            num_packets=self.problem.num_packets,
+            congestion=self.problem.congestion,
+            dilation=self.problem.dilation,
+            depth=self.problem.net.depth,
+            delivered=self.delivered,
+            makespan=self.t
+            if not self.done
+            else max(t for t in self.delivery_times if t is not None),
+            steps_executed=self.t,
+            steps_skipped=0,
+            delivery_times=list(self.delivery_times),
+            deflections_per_packet=[0] * self.problem.num_packets,
+            unsafe_deflections=0,
+            total_moves=sum(self._next_index),
+            total_backward_moves=0,
+            extra={
+                "buffer_size": float(self.buffer_size),
+                "blocked_steps": float(self.blocked_steps),
+                "stalled_injections": float(self.stalled_injections),
+                "max_buffer_occupancy": float(self.peak_occupancy),
+            },
+        )

@@ -1,0 +1,72 @@
+"""Greedy hot-potato routing.
+
+The classic deflection baseline (cf. Ben-Dor/Halevi/Schuster's potential-
+function greedy, ref [5] of the paper): a packet always requests an
+incident link that reduces its distance to its destination (hop distance in
+the undirected network, since deflected packets recover by moving backward);
+conflicts are broken uniformly at random and losers take whatever free link
+the node hands them.
+
+This router is *path-less*: preselected paths are ignored (only the
+endpoints matter), so its performance is not congestion/dilation-of-paths
+bound but endpoint driven — the contrast the paper's introduction draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rng import RngLike, make_rng
+from ..sim import DesiredMove, Engine, Router
+from ..types import MoveKind, NodeId, PacketId
+
+
+class GreedyHotPotatoRouter(Router):
+    """Distance-greedy deflection routing."""
+
+    deflection_kind = MoveKind.FREE
+
+    def __init__(self, seed: RngLike = None) -> None:
+        self._rng = make_rng(seed)
+        self._distance_cache: Dict[NodeId, List[int]] = {}
+
+    def attach(self, engine: Engine) -> None:
+        super().attach(engine)
+        engine.mark_all_eligible()
+
+    def _distances(self, destination: NodeId) -> List[int]:
+        table = self._distance_cache.get(destination)
+        if table is None:
+            table = self.engine.net.undirected_distances(destination)
+            self._distance_cache[destination] = table
+        return table
+
+    def desired_move(self, packet_id: PacketId, t: int) -> DesiredMove:
+        packet = self.engine.packets[packet_id]
+        net = self.engine.net
+        dist = self._distances(packet.destination)
+        best_edge = None
+        best_value = None
+        ties: List[int] = []
+        for edge in net.incident_edges(packet.node):
+            value = dist[net.other_endpoint(edge, packet.node)]
+            if value < 0:
+                continue  # dead region
+            if best_value is None or value < best_value:
+                best_value = value
+                best_edge = edge
+                ties = [edge]
+            elif value == best_value:
+                ties.append(edge)
+        if best_edge is None:  # pragma: no cover - destination unreachable
+            ties = list(net.incident_edges(packet.node))
+        pick = (
+            ties[int(self._rng.integers(0, len(ties)))]
+            if len(ties) > 1
+            else ties[0]
+        )
+        return DesiredMove(pick, MoveKind.FREE)
+
+    def is_delivered(self, packet_id: PacketId) -> bool:
+        packet = self.engine.packets[packet_id]
+        return packet.node == packet.destination

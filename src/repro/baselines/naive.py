@@ -1,0 +1,27 @@
+"""Naive hot-potato path following.
+
+Every packet is injected as soon as a link is free and simply follows its
+preselected path; conflicts are resolved uniformly at random and losers are
+deflected (backward + safe when possible, by the engine).  This is the
+"no coordination" strawman: it shows what the frontier-frame machinery buys
+over doing nothing, and doubles as the engine's reference router in tests.
+"""
+
+from __future__ import annotations
+
+from ..sim import DesiredMove, Engine, Router
+from ..types import MoveKind, PacketId
+
+
+class NaivePathRouter(Router):
+    """Inject immediately; always follow the current path head."""
+
+    deflection_kind = MoveKind.REVERSE
+
+    def attach(self, engine: Engine) -> None:
+        super().attach(engine)
+        engine.mark_all_eligible()
+
+    def desired_move(self, packet_id: PacketId, t: int) -> DesiredMove:
+        packet = self.engine.packets[packet_id]
+        return DesiredMove(packet.head_edge(), MoveKind.FOLLOW)

@@ -1,0 +1,178 @@
+"""Store-and-forward routing with unbounded buffers.
+
+The buffered comparator for experiment T2: packets follow their preselected
+paths; each edge transmits one packet per step (in its forward direction)
+and everyone else queues at the edge tail.  With FIFO or
+furthest-to-go scheduling the completion time is ``O(C·D)`` worst case and
+close to ``C + D`` for typical workloads — the quantity the paper's
+``Ω(C + D)`` lower bound refers to.  Comparing this against the bufferless
+routers measures "the benefit from using buffers", which Theorem 4.26 caps
+at a polylog factor.
+
+This simulator is deliberately separate from :class:`repro.sim.Engine`:
+buffered routing has no deflections, no per-direction slot game, and no
+hot-potato constraint, so a queue-per-edge model is both simpler and
+faithful.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..paths import RoutingProblem
+from ..rng import RngLike, make_rng
+from ..sim import RunResult
+from ..types import EdgeId, PacketId
+
+
+class QueuePolicy(enum.Enum):
+    """How an edge picks among queued packets."""
+
+    FIFO = "fifo"
+    FURTHEST_TO_GO = "furthest_to_go"
+    RANDOM = "random"
+
+
+class StoreForwardScheduler:
+    """Synchronous store-and-forward simulator with unbounded buffers.
+
+    Parameters
+    ----------
+    problem:
+        The routing problem (packets follow their preselected paths).
+    policy:
+        Edge scheduling policy.
+    injection_delays:
+        Optional per-packet initial delays (used by the random-delay
+        scheduler of :mod:`repro.baselines.random_delay`); packet ``k``
+        joins its first queue at step ``injection_delays[k]``.
+    """
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        policy: QueuePolicy = QueuePolicy.FIFO,
+        seed: RngLike = None,
+        injection_delays: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.problem = problem
+        self.policy = policy
+        self.rng = make_rng(seed)
+        if injection_delays is None:
+            self.delays = [0] * problem.num_packets
+        else:
+            if len(injection_delays) != problem.num_packets:
+                raise SimulationError(
+                    f"{len(injection_delays)} delays for "
+                    f"{problem.num_packets} packets"
+                )
+            self.delays = [int(d) for d in injection_delays]
+            if any(d < 0 for d in self.delays):
+                raise SimulationError("injection delays must be non-negative")
+        # Per-packet remaining-path cursor.
+        self._next_index = [0] * problem.num_packets
+        self._paths = [spec.path.edges for spec in problem]
+        self.delivery_times: List[Optional[int]] = [None] * problem.num_packets
+        self.queue_of: Dict[EdgeId, Deque[PacketId]] = {}
+        self.t = 0
+        self.delivered = 0
+        self.max_queue_seen = 0
+        self.total_queue_steps = 0
+
+    # -------------------------------------------------------------- helpers
+
+    def _enqueue(self, packet_id: PacketId) -> None:
+        index = self._next_index[packet_id]
+        path = self._paths[packet_id]
+        if index >= len(path):
+            # Only reachable after a move: the packet finished its last hop
+            # during step t, so it arrives at time t + 1 (engine convention).
+            self.delivery_times[packet_id] = self.t + 1
+            self.delivered += 1
+            return
+        edge = path[index]
+        self.queue_of.setdefault(edge, deque()).append(packet_id)
+
+    def _remaining(self, packet_id: PacketId) -> int:
+        return len(self._paths[packet_id]) - self._next_index[packet_id]
+
+    def _pick(self, queue: Deque[PacketId]) -> PacketId:
+        if len(queue) == 1 or self.policy is QueuePolicy.FIFO:
+            return queue.popleft()
+        if self.policy is QueuePolicy.RANDOM:
+            index = int(self.rng.integers(0, len(queue)))
+        else:  # FURTHEST_TO_GO
+            index = max(range(len(queue)), key=lambda i: self._remaining(queue[i]))
+        queue.rotate(-index)
+        winner = queue.popleft()
+        queue.rotate(index)
+        return winner
+
+    # ----------------------------------------------------------------- step
+
+    def step(self) -> None:
+        """One synchronous step: every non-empty edge transmits one packet."""
+        # Admit packets whose delay expires now.
+        for pid, delay in enumerate(self.delays):
+            if delay == self.t:
+                self._enqueue(pid)
+        moved: List[PacketId] = []
+        for edge, queue in self.queue_of.items():
+            if queue:
+                moved.append(self._pick(queue))
+        for pid in moved:
+            self._next_index[pid] += 1
+            self._enqueue(pid)
+        self.total_queue_steps += sum(len(q) for q in self.queue_of.values())
+        depth = max((len(q) for q in self.queue_of.values()), default=0)
+        if depth > self.max_queue_seen:
+            self.max_queue_seen = depth
+        self.t += 1
+
+    @property
+    def done(self) -> bool:
+        """All packets delivered."""
+        return self.delivered == self.problem.num_packets
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run to completion (or budget) and return engine-compatible metrics."""
+        pending_admissions = max(self.delays, default=0)
+        budget = (
+            max_steps
+            if max_steps is not None
+            else (self.problem.congestion + 1)
+            * (self.problem.dilation + 1)
+            + pending_admissions
+            + 16
+        )
+        while not self.done and self.t < budget:
+            self.step()
+        moves = sum(self._next_index)
+        return RunResult(
+            router_name=f"StoreForward({self.policy.value})",
+            network_name=self.problem.net.name,
+            num_packets=self.problem.num_packets,
+            congestion=self.problem.congestion,
+            dilation=self.problem.dilation,
+            depth=self.problem.net.depth,
+            delivered=self.delivered,
+            makespan=self.t
+            if not self.done
+            else max(t for t in self.delivery_times if t is not None),
+            steps_executed=self.t,
+            steps_skipped=0,
+            delivery_times=list(self.delivery_times),
+            deflections_per_packet=[0] * self.problem.num_packets,
+            unsafe_deflections=0,
+            total_moves=moves,
+            total_backward_moves=0,
+            extra={
+                "max_queue_depth": float(self.max_queue_seen),
+                "mean_queued_per_step": (
+                    self.total_queue_steps / self.t if self.t else 0.0
+                ),
+            },
+        )

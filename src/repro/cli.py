@@ -1,0 +1,408 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the interactive workflows:
+
+* ``topo``    — build a named topology, validate it, print its profile;
+* ``params``  — show the algorithm parameters (practical and theory-exact)
+  for a given (C, L, N);
+* ``frames``  — render the Figure-2 film strip for a parameterization;
+* ``route``   — build an instance, route it with a chosen router, print
+  the result summary (optionally with the invariant audit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_kv
+from .core import (
+    AlgorithmParams,
+    FrameGeometry,
+    FrontierFrameRouter,
+    audited_run,
+    compute_theory_values,
+)
+from .errors import ReproError
+from .net import (
+    LeveledNetwork,
+    butterfly,
+    complete_binary_tree,
+    fat_tree,
+    hypercube,
+    line,
+    mesh,
+    omega_network,
+    profile,
+    random_leveled,
+    validate_leveled,
+)
+from .paths import (
+    RoutingProblem,
+    select_paths_bit_fixing,
+    select_paths_bottleneck,
+    select_paths_random,
+)
+from .sim import Engine
+from .workloads import (
+    butterfly_workloads,
+    hotspot,
+    random_many_to_one,
+)
+
+
+def build_topology(spec: str, seed: int = 0) -> LeveledNetwork:
+    """Parse ``name:arg1:arg2`` topology specs.
+
+    Examples: ``butterfly:5``, ``mesh:8x8``, ``hypercube:5``, ``line:20``,
+    ``omega:4``, ``fattree:4``, ``btree:4``, ``random:6x20`` (width x depth).
+    """
+    name, _, rest = spec.partition(":")
+    name = name.lower()
+    try:
+        if name == "butterfly":
+            return butterfly(int(rest))
+        if name == "mesh":
+            rows, _, cols = rest.partition("x")
+            return mesh(int(rows), int(cols or rows))
+        if name == "hypercube":
+            return hypercube(int(rest))
+        if name == "line":
+            return line(int(rest))
+        if name == "omega":
+            return omega_network(int(rest))
+        if name == "fattree":
+            return fat_tree(int(rest))
+        if name == "btree":
+            return complete_binary_tree(int(rest))
+        if name == "random":
+            width, _, depth = rest.partition("x")
+            return random_leveled(
+                [int(width)] * (int(depth) + 1),
+                edge_probability=0.5,
+                seed=seed,
+                min_out_degree=2,
+                min_in_degree=2,
+            )
+    except ValueError as exc:
+        raise SystemExit(f"bad topology spec {spec!r}: {exc}") from exc
+    raise SystemExit(
+        f"unknown topology {name!r} (try butterfly:5, mesh:8x8, "
+        "hypercube:5, line:20, omega:4, fattree:4, btree:4, random:6x20)"
+    )
+
+
+def build_problem(
+    net: LeveledNetwork, workload: str, packets: Optional[int], seed: int
+) -> RoutingProblem:
+    """Build a routing problem from a workload name."""
+    if workload == "random":
+        count = packets or max(2, net.num_nodes // 8)
+        wl = random_many_to_one(net, count, seed=seed)
+        return select_paths_random(net, wl.endpoints, seed=seed + 1)
+    if workload == "bottleneck":
+        count = packets or max(2, net.num_nodes // 8)
+        wl = random_many_to_one(net, count, seed=seed)
+        return select_paths_bottleneck(net, wl.endpoints, seed=seed + 1)
+    if workload == "hotspot":
+        count = packets or max(2, net.num_nodes // 8)
+        wl = hotspot(net, count, seed=seed)
+        return select_paths_random(net, wl.endpoints, seed=seed + 1)
+    if workload == "permutation":
+        wl = butterfly_workloads.full_permutation(net, seed=seed)
+        return select_paths_bit_fixing(net, wl.endpoints)
+    if workload == "hotrow":
+        count = packets or len(net.nodes_at_level(0)) // 2
+        wl = butterfly_workloads.hot_row(net, count, seed=seed)
+        return select_paths_bit_fixing(net, wl.endpoints)
+    raise SystemExit(
+        f"unknown workload {workload!r} (random, bottleneck, hotspot, "
+        "permutation, hotrow)"
+    )
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    net = build_topology(args.spec, seed=args.seed)
+    report = validate_leveled(net)
+    prof = profile(net)
+    print(net.describe())
+    print(f"validation : {report.summary()}")
+    print(
+        f"degrees    : min {prof.min_degree}, max {prof.max_degree}, "
+        f"mean {prof.mean_degree:.2f}"
+    )
+    sizes = prof.level_sizes
+    shown = (
+        " ".join(map(str, sizes))
+        if len(sizes) <= 24
+        else " ".join(map(str, sizes[:24])) + " ..."
+    )
+    print(f"level sizes: {shown}")
+    return 0 if report.ok else 1
+
+
+def cmd_params(args: argparse.Namespace) -> int:
+    practical = AlgorithmParams.practical(args.C, args.L, args.N)
+    print(format_kv(practical.describe(), title="practical parameters"))
+    tv = compute_theory_values(args.C, args.L, args.N)
+    print()
+    print(
+        format_kv(
+            {
+                "a": tv.a,
+                "m": tv.m,
+                "q": tv.q,
+                "w": tv.w,
+                "p0": tv.p0,
+                "p1": tv.p1,
+                "aC (frontier sets)": tv.a * args.C,
+                "amC+L (phases)": tv.total_phases,
+                "total steps": tv.total_steps,
+                "steps / (C+L)": tv.total_steps / (args.C + args.L),
+            },
+            title="Section 2.1 theory-exact values (reconstructed)",
+        )
+    )
+    return 0
+
+
+def cmd_frames(args: argparse.Namespace) -> int:
+    from .viz import frame_film_strip
+
+    params = AlgorithmParams.practical(
+        args.C, args.L, args.N, m=args.m, w=args.w
+    )
+    geometry = FrameGeometry(params)
+    print(
+        f"frames: {params.num_sets} sets, m={params.m}, L={args.L} "
+        f"({params.total_phases} phases)"
+    )
+    print(frame_film_strip(geometry, 0, min(args.phases, params.total_phases)))
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    net = build_topology(args.net, seed=args.seed)
+    problem = build_problem(net, args.workload, args.packets, args.seed)
+    print(f"instance: {problem.describe()}")
+    if args.router == "frontier":
+        params = AlgorithmParams.practical(
+            max(1, problem.congestion), net.depth, problem.num_packets
+        )
+        router = FrontierFrameRouter(params, seed=args.seed + 2)
+        engine = Engine(problem, router, seed=args.seed + 3)
+        if args.audit:
+            result, report = audited_run(engine)
+            print(result.summary())
+            print(f"audit: {report.summary()}")
+            return 0 if (result.all_delivered and report.ok) else 1
+        result = engine.run(params.total_steps)
+    else:
+        from .baselines import (
+            GreedyHotPotatoRouter,
+            NaivePathRouter,
+            RandomizedGreedyRouter,
+            StoreForwardScheduler,
+        )
+        from .experiments import baseline_budget
+
+        if args.router == "storeforward":
+            result = StoreForwardScheduler(problem, seed=args.seed).run()
+        else:
+            router = {
+                "naive": lambda: NaivePathRouter(),
+                "greedy": lambda: GreedyHotPotatoRouter(seed=args.seed + 2),
+                "randgreedy": lambda: RandomizedGreedyRouter(seed=args.seed + 2),
+            }.get(args.router, lambda: None)()
+            if router is None:
+                raise SystemExit(
+                    f"unknown router {args.router!r} (frontier, naive, "
+                    "greedy, randgreedy, storeforward)"
+                )
+            engine = Engine(problem, router, seed=args.seed + 3)
+            result = engine.run(baseline_budget(problem))
+    print(result.summary())
+    return 0 if result.all_delivered else 1
+
+
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    from .dynamic import (
+        DynamicGreedyRouter,
+        DynamicNaiveRouter,
+        arrivals_to_problem,
+        bernoulli_arrivals,
+        dynamic_stats,
+        offered_load,
+    )
+
+    net = build_topology(args.net, seed=args.seed)
+    arrivals = bernoulli_arrivals(
+        net, args.rate, horizon=args.horizon, seed=args.seed
+    )
+    if not arrivals:
+        print("no arrivals generated (rate too low?)")
+        return 1
+    problem, times = arrivals_to_problem(net, arrivals, seed=args.seed + 1)
+    if args.router == "greedy":
+        router = DynamicGreedyRouter(times, seed=args.seed + 2)
+    else:
+        router = DynamicNaiveRouter(times)
+    engine = Engine(problem, router, seed=args.seed + 3)
+    result = engine.run(args.horizon + args.drain)
+    stats = dynamic_stats(result, times, [len(s.path) for s in problem])
+    load = offered_load(net, arrivals, args.horizon)
+    print(f"network   : {net.describe()}")
+    print(
+        f"traffic   : rate {args.rate}/source/step over {args.horizon} "
+        f"steps -> {len(arrivals)} packets, utilization {load:.2f}"
+    )
+    print(
+        f"outcome   : delivered {stats.delivered}/{stats.offered}"
+        f" ({'drained' if stats.drained else 'NOT drained'})"
+    )
+    print(
+        f"latency   : mean {stats.mean_latency:.1f}, p50 "
+        f"{stats.p50_latency:.0f}, p95 {stats.p95_latency:.0f}, max "
+        f"{stats.max_latency:.0f} (hop stretch {stats.mean_hop_stretch:.2f})"
+    )
+    print(f"deflection: {result.total_deflections} total, "
+          f"{result.unsafe_deflections} unsafe")
+    return 0 if stats.drained else 1
+
+
+def _benchmarks_dir():
+    import pathlib
+
+    # repo layout: src/repro/cli.py -> repo root / benchmarks
+    root = pathlib.Path(__file__).resolve().parents[2]
+    candidate = root / "benchmarks"
+    return candidate if candidate.is_dir() else None
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import subprocess
+
+    bench_dir = _benchmarks_dir()
+    if bench_dir is None:
+        print(
+            "error: benchmarks/ not found (experiments run from a source "
+            "checkout)",
+            file=sys.stderr,
+        )
+        return 2
+    available = sorted(
+        p.name[len("bench_"):].split("_")[0]
+        for p in bench_dir.glob("bench_*.py")
+        if p.name != "bench_engine_throughput.py"
+    )
+    if args.experiment_id is None:
+        print("available experiments:", ", ".join(available))
+        print("run one with: python -m repro experiment <id>")
+        return 0
+    exp = args.experiment_id.lower()
+    matches = list(bench_dir.glob(f"bench_{exp}_*.py"))
+    if not matches:
+        print(
+            f"error: no benchmark for experiment {exp!r} "
+            f"(available: {', '.join(available)})",
+            file=sys.stderr,
+        )
+        return 2
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(matches[0]),
+        "--benchmark-only",
+        "-q",
+        "-s",
+    ]
+    print("running:", " ".join(command))
+    return subprocess.call(command, cwd=str(bench_dir))
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hot-potato routing on leveled networks (Busch, SPAA'02)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topo", help="build and validate a topology")
+    p_topo.add_argument("spec", help="e.g. butterfly:5, mesh:8x8, random:6x20")
+    p_topo.add_argument("--seed", type=int, default=0)
+    p_topo.set_defaults(func=cmd_topo)
+
+    p_params = sub.add_parser("params", help="show algorithm parameters")
+    p_params.add_argument("C", type=int, help="congestion")
+    p_params.add_argument("L", type=int, help="network depth")
+    p_params.add_argument("N", type=int, help="number of packets")
+    p_params.set_defaults(func=cmd_params)
+
+    p_frames = sub.add_parser("frames", help="render the Figure-2 film strip")
+    p_frames.add_argument("C", type=int)
+    p_frames.add_argument("L", type=int)
+    p_frames.add_argument("N", type=int)
+    p_frames.add_argument("--m", type=int, default=None)
+    p_frames.add_argument("--w", type=int, default=None)
+    p_frames.add_argument("--phases", type=int, default=24)
+    p_frames.set_defaults(func=cmd_frames)
+
+    p_route = sub.add_parser("route", help="route one instance")
+    p_route.add_argument("--net", default="butterfly:5")
+    p_route.add_argument(
+        "--workload",
+        default="random",
+        help="random | bottleneck | hotspot | permutation | hotrow",
+    )
+    p_route.add_argument(
+        "--router",
+        default="frontier",
+        help="frontier | naive | greedy | randgreedy | storeforward",
+    )
+    p_route.add_argument("--packets", type=int, default=None)
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.add_argument(
+        "--audit", action="store_true", help="audit invariants I_a..I_f"
+    )
+    p_route.set_defaults(func=cmd_route)
+
+    p_dyn = sub.add_parser(
+        "dynamic", help="continuous-injection routing (T9-style)"
+    )
+    p_dyn.add_argument("--net", default="butterfly:4")
+    p_dyn.add_argument("--rate", type=float, default=0.3)
+    p_dyn.add_argument("--horizon", type=int, default=200)
+    p_dyn.add_argument("--drain", type=int, default=50000)
+    p_dyn.add_argument("--router", default="naive", help="naive | greedy")
+    p_dyn.add_argument("--seed", type=int, default=0)
+    p_dyn.set_defaults(func=cmd_dynamic)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a DESIGN.md experiment table"
+    )
+    p_exp.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="e.g. t1, t4, a2, e1; omit to list available experiments",
+    )
+    p_exp.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

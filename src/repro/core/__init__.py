@@ -1,0 +1,52 @@
+"""The paper's primary contribution: frontier-frame hot-potato routing."""
+
+from .params import (
+    AlgorithmParams,
+    TheoryValues,
+    compute_theory_values,
+    theorem_success_probability,
+    theorem_time_bound,
+    polylog_exponent_check,
+    ln_ln_factor,
+)
+from .schedule import PhaseClock, FrameGeometry
+from .frontier import (
+    assign_frontier_sets,
+    frontier_set_congestions,
+    max_frontier_set_congestion,
+    set_sizes,
+    resample_until_bounded,
+    expected_set_congestion,
+)
+from .states import PacketState, AlgorithmPacketState, StateCounters
+from .algorithm import FrontierFrameRouter
+from .multiphase import MultiphaseResult, run_multiphase
+from .invariants import InvariantAuditor, AuditReport, Violation, audited_run
+
+__all__ = [
+    "AlgorithmParams",
+    "TheoryValues",
+    "compute_theory_values",
+    "theorem_success_probability",
+    "theorem_time_bound",
+    "polylog_exponent_check",
+    "ln_ln_factor",
+    "PhaseClock",
+    "FrameGeometry",
+    "assign_frontier_sets",
+    "frontier_set_congestions",
+    "max_frontier_set_congestion",
+    "set_sizes",
+    "resample_until_bounded",
+    "expected_set_congestion",
+    "PacketState",
+    "AlgorithmPacketState",
+    "StateCounters",
+    "FrontierFrameRouter",
+    "MultiphaseResult",
+    "run_multiphase",
+    "InvariantAuditor",
+    "AuditReport",
+    "Violation",
+    "audited_run",
+]

@@ -1,0 +1,328 @@
+"""The paper's hot-potato routing algorithm (Section 3).
+
+:class:`FrontierFrameRouter` plugs the frontier-frame policy into the
+generic engine:
+
+* **Injection** — a packet enters at the start of the phase in which its
+  source lies on inner-level ``m−1`` of its frame (retrying on later steps
+  if every link is busy).
+* **States** — ``normal`` packets follow their current path and become
+  ``excited`` with probability ``q`` each step; ``excited`` packets do the
+  same at top priority and calm down on deflection or at round end; a packet
+  arriving at its round's target node enters ``wait`` and oscillates on the
+  edge it arrived by until deflected or the phase ends.
+* **Targets** — during round ``j`` of a phase the target level of frame
+  ``F_i`` is its inner-level ``max(0, j−1)``; a packet whose current path
+  does not cross the target level races for its destination instead.  A
+  packet's current path starts at its current node, so it stands on its
+  target node exactly when its level equals the target level — no explicit
+  path scan is needed.
+
+Deflection mechanics (backward + safe, Lemma 2.1) are engine-provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..errors import ParameterError, SimulationError
+from ..rng import RngLike, make_rng
+from ..sim import DesiredMove, Engine, Router
+from ..types import Direction, EdgeId, MoveKind, NodeId, PacketId
+from .frontier import assign_frontier_sets
+from .params import AlgorithmParams
+from .schedule import FrameGeometry, PhaseClock
+from .states import AlgorithmPacketState, PacketState, StateCounters
+
+
+class FrontierFrameRouter(Router):
+    """The paper's randomized frontier-frame hot-potato router.
+
+    Parameters
+    ----------
+    params:
+        Parameterization (theory-exact or practical).
+    set_of:
+        Optional externally chosen frontier-set assignment (e.g. one
+        conditioned on Lemma 2.2's good event); drawn uniformly at random
+        when omitted, as in the paper.
+    seed:
+        Seed for the router's own randomness (frontier-set draw and
+        excitation coins); tie-breaking randomness lives in the engine.
+    """
+
+    deflection_kind = MoveKind.REVERSE
+
+    def __init__(
+        self,
+        params: AlgorithmParams,
+        set_of: Optional[Sequence[int]] = None,
+        seed: RngLike = None,
+        collect_round_stats: bool = False,
+    ) -> None:
+        self.params = params
+        self.clock = PhaseClock(params.m, params.w)
+        self.geometry = FrameGeometry(params)
+        self._rng = make_rng(seed)
+        self._given_set_of = list(set_of) if set_of is not None else None
+        self.set_of: List[int] = []
+        self.states: List[AlgorithmPacketState] = []
+        self.counters = StateCounters()
+        self.isolation_violations = 0
+        self._eligible_by_phase: Dict[int, List[PacketId]] = {}
+        self._current_phase = -1
+        self.collect_round_stats = collect_round_stats
+        #: per (phase, round): |B_j| = active packets not in wait at the
+        #: round start (Lemma 4.20's settling sequence), summed over frames
+        self.round_stats: List[tuple] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, engine: Engine) -> None:
+        super().attach(engine)
+        problem = engine.problem
+        if self.params.depth != problem.net.depth:
+            raise ParameterError(
+                f"params built for depth {self.params.depth} but network has "
+                f"depth {problem.net.depth}"
+            )
+        if self.params.num_packets != problem.num_packets:
+            raise ParameterError(
+                f"params built for {self.params.num_packets} packets but "
+                f"problem has {problem.num_packets}"
+            )
+        if self._given_set_of is not None:
+            if len(self._given_set_of) != problem.num_packets:
+                raise ParameterError(
+                    f"{len(self._given_set_of)} set assignments for "
+                    f"{problem.num_packets} packets"
+                )
+            if any(
+                not 0 <= s < self.params.num_sets for s in self._given_set_of
+            ):
+                raise ParameterError("set assignment index out of range")
+            self.set_of = list(self._given_set_of)
+        else:
+            self.set_of = assign_frontier_sets(
+                problem, self.params.num_sets, self._rng
+            )
+        net = problem.net
+        self.states = [
+            AlgorithmPacketState(
+                set_index=self.set_of[spec.packet_id],
+                injection_phase=self.geometry.injection_phase(
+                    self.set_of[spec.packet_id], net.level(spec.source)
+                ),
+            )
+            for spec in problem
+        ]
+        self._eligible_by_phase = {}
+        for pid, st in enumerate(self.states):
+            self._eligible_by_phase.setdefault(st.injection_phase, []).append(pid)
+
+    # ---------------------------------------------------------------- hooks
+
+    def pre_step(self, t: int) -> None:
+        clock = self.clock
+        if clock.is_phase_start(t):
+            phase = clock.phase(t)
+            self._current_phase = phase
+            for pid in self._eligible_by_phase.get(phase, ()):
+                self.engine.mark_eligible(pid)
+        if clock.is_round_start(t) and self.collect_round_stats:
+            # Lemma 4.20's |B_j|: active packets not (yet) settled in wait.
+            active = 0
+            unsettled = 0
+            for pid in self.engine.active_ids:
+                active += 1
+                if self.states[pid].state is not PacketState.WAIT:
+                    unsettled += 1
+            if active:
+                self.round_stats.append(
+                    (clock.phase(t), clock.round(t), active, unsettled)
+                )
+        if clock.is_round_start(t):
+            # A packet that forward-arrived on the new round's target level
+            # in the closing steps of the previous round is already standing
+            # on its (new) target node; it "reaches" it trivially and enters
+            # the wait state, else it would overshoot and leave the frame.
+            net = self.engine.net
+            for pid in list(self.engine.active_ids):
+                packet = self.engine.packets[pid]
+                st = self.states[pid]
+                if st.state is PacketState.WAIT:
+                    continue
+                if (
+                    packet.last_direction is Direction.FORWARD
+                    and net.level(packet.node)
+                    == self.target_level(st.set_index, t)
+                ):
+                    st.enter_wait(packet.node, packet.last_edge)
+                    self.counters.wait_entries += 1
+        # Excitation coins: every active normal packet, every step.
+        q = self.params.q
+        if q > 0.0:
+            states = self.states
+            for pid in self.engine.active_ids:
+                if states[pid].state is PacketState.NORMAL:
+                    if self._rng.random() < q:
+                        states[pid].excite()
+                        self.counters.excitations += 1
+
+    def post_step(self, t: int) -> None:
+        clock = self.clock
+        round_end = clock.is_round_end(t)
+        phase_end = clock.is_phase_end(t)
+        if not (round_end or phase_end):
+            return
+        for pid in self.engine.active_ids:
+            st = self.states[pid]
+            if st.state is PacketState.EXCITED:
+                st.calm()
+                self.counters.round_calms += 1
+            elif phase_end and st.state is PacketState.WAIT:
+                st.leave_wait(evicted=False)
+                self.counters.phase_releases += 1
+
+    # ---------------------------------------------------------------- policy
+
+    def desired_move(self, packet_id: PacketId, t: int) -> DesiredMove:
+        packet = self.engine.packets[packet_id]
+        st = self.states[packet_id]
+        if packet.is_active and st.state is PacketState.WAIT:
+            if packet.node == st.wait_node:
+                # Backward half of the oscillation: re-traverse the wait
+                # edge toward the lower level (prepending it).
+                return DesiredMove(st.wait_edge, MoveKind.REVERSE)
+            head = packet.head_edge()
+            if head != st.wait_edge:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"packet {packet_id} in wait at {packet.node} but path "
+                    f"head {head} != wait edge {st.wait_edge}"
+                )
+            return DesiredMove(head, MoveKind.FOLLOW)
+        return DesiredMove(packet.head_edge(), MoveKind.FOLLOW)
+
+    def priority(self, packet_id: PacketId, t: int) -> int:
+        packet = self.engine.packets[packet_id]
+        if packet.is_pending:
+            return PacketState.NORMAL.priority
+        return self.states[packet_id].state.priority
+
+    # -------------------------------------------------------------- targets
+
+    def target_level(self, set_index: int, t: int) -> int:
+        """Network level targeted by frame ``F_i`` at step ``t``."""
+        return self.geometry.target_level(
+            set_index, self.clock.phase(t), self.clock.round(t)
+        )
+
+    # ------------------------------------------------------------- callbacks
+
+    def on_injected(self, packet_id: PacketId, t: int, in_isolation: bool) -> None:
+        if not in_isolation:
+            self.isolation_violations += 1
+
+    def on_moved(self, packet_id: PacketId, t: int, edge: EdgeId) -> None:
+        st = self.states[packet_id]
+        if st.state is PacketState.WAIT:
+            return  # oscillation continues
+        packet = self.engine.packets[packet_id]
+        if packet.last_direction is not Direction.FORWARD:
+            return
+        # A packet's current path starts at its node, so standing on the
+        # target level means standing on its target node.
+        level = self.engine.net.level(packet.node)
+        if level == self.target_level(st.set_index, t):
+            st.enter_wait(packet.node, edge)
+            self.counters.wait_entries += 1
+
+    def on_deflected(
+        self, packet_id: PacketId, t: int, edge: EdgeId, safe: bool
+    ) -> None:
+        st = self.states[packet_id]
+        if st.state is PacketState.WAIT:
+            st.leave_wait(evicted=True)
+            self.counters.wait_evictions += 1
+        elif st.state is PacketState.EXCITED:
+            st.calm()
+
+    # --------------------------------------------------------- fast-forward
+
+    def quiescent_horizon(self, t: int) -> Optional[int]:
+        engine = self.engine
+        if engine.eligible:
+            return None
+        current_phase = self.clock.phase(t)
+        pending_phases = [
+            st.injection_phase
+            for pid, st in enumerate(self.states)
+            if engine.packets[pid].is_pending
+        ]
+        if pending_phases and min(pending_phases) <= current_phase:
+            # Injections are due in the current phase but pre_step has not
+            # marked them eligible yet (t is the phase-start step).
+            return None
+        if engine.num_active == 0:
+            # Nothing in flight: jump to the next phase with an injection.
+            if not pending_phases:
+                return None
+            return self.clock.phase_start(min(pending_phases))
+        # All active packets must be waiting, with pairwise distinct
+        # oscillation slots (same edge + same parity would conflict).
+        slots: Set[tuple] = set()
+        for pid in engine.active_ids:
+            packet = engine.packets[pid]
+            st = self.states[pid]
+            if st.state is not PacketState.WAIT:
+                return None
+            slot = (st.wait_edge, packet.node == st.wait_node)
+            if slot in slots:  # pragma: no cover - theory says impossible
+                return None
+            slots.add(slot)
+        return self.clock.next_phase_start(t)
+
+    def fast_forward(self, t_from: int, t_to: int) -> Dict[NodeId, Set[EdgeId]]:
+        k = t_to - t_from
+        net = self.engine.net
+        safe_in: Dict[NodeId, Set[EdgeId]] = {}
+        waiting = 0
+        for pid in self.engine.active_ids:
+            packet = self.engine.packets[pid]
+            st = self.states[pid]
+            waiting += 1
+            # Move accounting: the packet oscillates once per skipped step;
+            # starting at the wait node its first (and every odd) move is
+            # backward.
+            backward_total = (
+                (k + 1) // 2 if packet.node == st.wait_node else k // 2
+            )
+            counted_backward = 0
+            if k % 2:
+                packet.toggle_across(net, st.wait_edge)
+                if packet.last_direction is Direction.BACKWARD:
+                    counted_backward = 1
+            packet.moves += k - (k % 2)
+            packet.backward_moves += backward_total - counted_backward
+            if packet.node == st.wait_node:
+                # Last (virtual) move arrived forward on the wait edge.
+                safe_in.setdefault(packet.node, set()).add(st.wait_edge)
+        self.counters.per_state_steps[PacketState.WAIT.name] += k * waiting
+        return safe_in
+
+    # -------------------------------------------------------------- metrics
+
+    def extra_metrics(self) -> Dict[str, float]:
+        """Router statistics merged into :class:`~repro.sim.RunResult`."""
+        return {
+            "num_sets": float(self.params.num_sets),
+            "m": float(self.params.m),
+            "w": float(self.params.w),
+            "q": float(self.params.q),
+            "excitations": float(self.counters.excitations),
+            "wait_entries": float(self.counters.wait_entries),
+            "wait_evictions": float(self.counters.wait_evictions),
+            "phase_releases": float(self.counters.phase_releases),
+            "isolation_violations": float(self.isolation_violations),
+            "phases_elapsed": float(self._current_phase + 1),
+        }

@@ -1,0 +1,87 @@
+"""Frontier-set assignment (Section 2.4).
+
+"To reduce the congestion we separate the packets into aC sets
+S_0, ..., S_{aC−1}, which we call frontier-sets.  Each packet belongs to
+exactly one frontier-set and this set is chosen uniformly and at random
+among the aC frontier-sets, before routing begins."
+
+Lemma 2.2 then gives per-set congestion at most ``ln(LN)`` w.h.p.;
+:func:`frontier_set_congestions` measures the realized values so experiment
+T4 can compare them with the Chernoff prediction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ParameterError
+from ..paths import RoutingProblem, per_set_congestion
+from ..rng import RngLike, make_rng
+
+
+def assign_frontier_sets(
+    problem: RoutingProblem, num_sets: int, seed: RngLike = None
+) -> List[int]:
+    """Uniform random frontier-set index for each packet.
+
+    Returns ``set_of`` with ``set_of[k]`` in ``0..num_sets−1``.
+    """
+    if num_sets < 1:
+        raise ParameterError(f"num_sets must be >= 1, got {num_sets}")
+    rng = make_rng(seed)
+    return [int(s) for s in rng.integers(0, num_sets, size=problem.num_packets)]
+
+
+def frontier_set_congestions(
+    problem: RoutingProblem, set_of: Sequence[int], num_sets: int
+) -> List[int]:
+    """The realized per-set congestions ``C_i`` of the preselected paths."""
+    edge_lists = [spec.path.edges for spec in problem]
+    return per_set_congestion(edge_lists, set_of, num_sets, problem.net.num_edges)
+
+
+def max_frontier_set_congestion(
+    problem: RoutingProblem, set_of: Sequence[int], num_sets: int
+) -> int:
+    """``max_i C_i`` — the quantity Lemma 2.2 bounds by ``ln(LN)``."""
+    congestions = frontier_set_congestions(problem, set_of, num_sets)
+    return max(congestions) if congestions else 0
+
+
+def set_sizes(set_of: Sequence[int], num_sets: int) -> List[int]:
+    """``|S_i|`` for each frontier-set."""
+    sizes = [0] * num_sets
+    for s in set_of:
+        sizes[s] += 1
+    return sizes
+
+
+def resample_until_bounded(
+    problem: RoutingProblem,
+    num_sets: int,
+    bound: float,
+    seed: RngLike = None,
+    max_attempts: int = 100,
+) -> List[int]:
+    """Redraw frontier-set assignments until every ``C_i <= bound``.
+
+    The paper simply accepts the w.h.p. failure; for *audited* runs (T3) we
+    optionally condition on Lemma 2.2's good event so invariant ``I_e``
+    starts out satisfied.  Raises ``ParameterError`` after ``max_attempts``.
+    """
+    rng = make_rng(seed)
+    for _ in range(max_attempts):
+        set_of = assign_frontier_sets(problem, num_sets, rng)
+        if max_frontier_set_congestion(problem, set_of, num_sets) <= bound:
+            return set_of
+    raise ParameterError(
+        f"could not realize per-set congestion <= {bound} with {num_sets} "
+        f"sets in {max_attempts} attempts (C={problem.congestion})"
+    )
+
+
+def expected_set_congestion(congestion: int, num_sets: int) -> float:
+    """Expected per-edge per-set congestion ``C / num_sets`` (the ``1/a``)."""
+    if num_sets < 1:
+        raise ParameterError(f"num_sets must be >= 1, got {num_sets}")
+    return congestion / num_sets

@@ -1,0 +1,275 @@
+"""Algorithm parameters (the paper's Section 2.1).
+
+Two constructors:
+
+* :meth:`AlgorithmParams.theory` computes the exact reconstructed formulas
+  (see DESIGN.md "OCR reconstruction"):
+
+  ==========  =====================================================
+  ``a``       ``2·e³ / ln(LN)``
+  ``m``       ``ln²(LN) + 5``
+  ``q``       ``1 / (m² · ln(LN))``
+  ``w``       ``4·e·m²·ln(LN)·ln(1/p₁) + 3m + 1``
+  ``p₀``      ``1 − 1/(2LN)``
+  ``p₁``      ``1 / ((amC+L) · 2amC·L·N²)``
+  ``p(k)``    ``p₀ · (1 − amC·N·p₁)^k``
+  ==========  =====================================================
+
+  The paper itself notes the resulting constants make the algorithm "not
+  really practical"; ``w`` runs into the millions even for toy networks.
+
+* :meth:`AlgorithmParams.practical` keeps the *structure* — packets split
+  into enough frontier-sets that per-set congestion is a small target
+  ``c*``, frames of ``m`` inner levels, ``m`` rounds of ``w = Θ(m)`` steps,
+  excitation probability ``q = Θ(1/m)`` — with small constants suited to
+  simulation.  EXPERIMENTS.md records which mode each experiment used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ParameterError
+
+
+def ln_ln_factor(depth: int, num_packets: int) -> float:
+    """``ln(L·N)``, clamped below at 1 so tiny instances stay sane."""
+    if depth < 1 or num_packets < 1:
+        raise ParameterError(
+            f"need depth >= 1 and packets >= 1, got L={depth}, N={num_packets}"
+        )
+    return max(1.0, math.log(depth * num_packets))
+
+
+@dataclass(frozen=True)
+class TheoryValues:
+    """The exact (real-valued) quantities of Section 2.1, for reporting."""
+
+    a: float
+    m: float
+    q: float
+    w: float
+    p0: float
+    p1: float
+    amc: float
+    total_phases: float
+    total_steps: float
+
+
+def compute_theory_values(
+    congestion: int, depth: int, num_packets: int
+) -> TheoryValues:
+    """Evaluate the reconstructed formulas exactly (floats, no ceiling)."""
+    if congestion < 1:
+        raise ParameterError(f"congestion must be >= 1, got {congestion}")
+    lnln = ln_ln_factor(depth, num_packets)
+    a = 2.0 * math.e**3 / lnln
+    m = lnln**2 + 5.0
+    q = 1.0 / (m**2 * lnln)
+    amc = a * m * congestion
+    p0 = 1.0 - 1.0 / (2.0 * depth * num_packets)
+    p1 = 1.0 / ((amc + depth) * 2.0 * amc * depth * num_packets**2)
+    w = 4.0 * math.e * m**2 * lnln * math.log(1.0 / p1) + 3.0 * m + 1.0
+    total_phases = amc + depth
+    total_steps = total_phases * m * w
+    return TheoryValues(
+        a=a,
+        m=m,
+        q=q,
+        w=w,
+        p0=p0,
+        p1=p1,
+        amc=amc,
+        total_phases=total_phases,
+        total_steps=total_steps,
+    )
+
+
+def theorem_success_probability(
+    congestion: int, depth: int, num_packets: int
+) -> float:
+    """``p(amC + L)`` unfolded: ``p₀·(1 − amC·N·p₁)^{amC+L} ≥ 1 − 1/LN``."""
+    tv = compute_theory_values(congestion, depth, num_packets)
+    k = tv.total_phases
+    return tv.p0 * (1.0 - tv.amc * num_packets * tv.p1) ** k
+
+
+def theorem_time_bound(congestion: int, depth: int, num_packets: int) -> float:
+    """Theorem 4.26's step bound ``(amC + L)·m·w = O((C+L)·ln⁹(LN))``."""
+    return compute_theory_values(congestion, depth, num_packets).total_steps
+
+
+def polylog_exponent_check(congestion: int, depth: int, num_packets: int) -> float:
+    """The bound divided by ``(C+L)``, i.e. the polylog factor itself."""
+    tv = compute_theory_values(congestion, depth, num_packets)
+    return tv.total_steps / (congestion + depth)
+
+
+@dataclass(frozen=True)
+class AlgorithmParams:
+    """Integer parameters actually driving a simulated run.
+
+    Attributes
+    ----------
+    num_sets:
+        Number of frontier-sets (the paper's ``aC``); also the number of
+        frontier-frames.
+    m:
+        Inner levels per frame = rounds per phase.
+    w:
+        Steps per round.
+    q:
+        Per-step excitation probability of a normal packet.
+    set_congestion_bound:
+        The per-set congestion the parameterization is designed for (the
+        paper's ``ln(LN)``); invariant ``I_e`` audits against it.
+    mode:
+        ``"theory"`` or ``"practical"`` — recorded in reports.
+    theory:
+        The exact real-valued Section 2.1 quantities for the instance, kept
+        alongside whichever integers are in force.
+    """
+
+    num_sets: int
+    m: int
+    w: int
+    q: float
+    set_congestion_bound: float
+    mode: str
+    depth: int
+    num_packets: int
+    congestion: int
+    theory: TheoryValues = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 1:
+            raise ParameterError(f"num_sets must be >= 1, got {self.num_sets}")
+        if self.m < 4:
+            raise ParameterError(
+                f"m must be >= 4 (invariant I_f empties the last 3 inner "
+                f"levels), got {self.m}"
+            )
+        if self.w < 1:
+            raise ParameterError(f"w must be >= 1, got {self.w}")
+        if not 0.0 <= self.q <= 1.0:
+            raise ParameterError(f"q must be a probability, got {self.q}")
+
+    # ------------------------------------------------------------- schedule
+
+    @property
+    def steps_per_phase(self) -> int:
+        """``m · w``."""
+        return self.m * self.w
+
+    @property
+    def total_phases(self) -> int:
+        """Phases until the last frame leaves the network: ``num_sets·m + L``.
+
+        Frame ``i`` enters at phase ``i·m`` (frontier reaches level 0) and
+        leaves after phase ``i·m + L + m``; the last frame is
+        ``i = num_sets − 1``.
+        """
+        return self.num_sets * self.m + self.depth
+
+    @property
+    def total_steps(self) -> int:
+        """Step budget of the full schedule."""
+        return self.total_phases * self.steps_per_phase
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def theory_exact(
+        cls, congestion: int, depth: int, num_packets: int
+    ) -> "AlgorithmParams":
+        """Ceil the exact Section 2.1 values into usable integers.
+
+        Warning: ``w`` is astronomically large; only usable on the tiniest
+        instances, and mostly via the quiescence fast-forward.
+        """
+        tv = compute_theory_values(congestion, depth, num_packets)
+        return cls(
+            num_sets=max(1, math.ceil(tv.a * congestion)),
+            m=math.ceil(tv.m),
+            w=math.ceil(tv.w),
+            q=tv.q,
+            set_congestion_bound=ln_ln_factor(depth, num_packets),
+            mode="theory",
+            depth=depth,
+            num_packets=num_packets,
+            congestion=congestion,
+            theory=tv,
+        )
+
+    @classmethod
+    def practical(
+        cls,
+        congestion: int,
+        depth: int,
+        num_packets: int,
+        set_congestion_target: Optional[float] = None,
+        m: Optional[int] = None,
+        w_factor: float = 8.0,
+        w: Optional[int] = None,
+        q: Optional[float] = None,
+        oversplit: float = 2.0,
+    ) -> "AlgorithmParams":
+        """Scaled parameterization with the same structure, small constants.
+
+        Defaults: per-set congestion *bound* ``c* = min(3, ln(LN))``, with
+        ``num_sets = ceil(C·oversplit/c*)`` so the expected per-set
+        congestion is ``c*/oversplit`` — mirroring (mildly) the paper's
+        ``a = 2e³/ln(LN)`` slack that makes Lemma 2.2's bound hold w.h.p.;
+        frame size ``m = ceil(c*·ln(N+1)) + 6`` (enough rounds for the
+        geometric settling of Lemma 4.20 plus the 3-level margin of
+        invariant I_f), round length ``w = w_factor · m`` (room for one trip
+        across the frame plus deflection retries), excitation probability
+        ``q = 1/m``.
+        """
+        if congestion < 1:
+            raise ParameterError(f"congestion must be >= 1, got {congestion}")
+        if oversplit < 1.0:
+            raise ParameterError(f"oversplit must be >= 1, got {oversplit}")
+        lnln = ln_ln_factor(depth, num_packets)
+        c_star = (
+            float(set_congestion_target)
+            if set_congestion_target is not None
+            else min(3.0, max(2.0, lnln))
+        )
+        if c_star < 1.0:
+            raise ParameterError(f"set congestion target must be >= 1, got {c_star}")
+        num_sets = max(1, math.ceil(congestion * oversplit / c_star))
+        if m is None:
+            m = max(6, math.ceil(c_star * math.log(num_packets + 1)) + 6)
+        if w is None:
+            w = max(4, math.ceil(w_factor * m))
+        if q is None:
+            q = min(1.0, 1.0 / m)
+        return cls(
+            num_sets=num_sets,
+            m=m,
+            w=w,
+            q=q,
+            set_congestion_bound=c_star,
+            mode="practical",
+            depth=depth,
+            num_packets=num_packets,
+            congestion=congestion,
+            theory=compute_theory_values(congestion, depth, num_packets),
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Key/value record for report tables."""
+        return {
+            "mode": self.mode,  # type: ignore[dict-item]
+            "num_sets": self.num_sets,
+            "m": self.m,
+            "w": self.w,
+            "q": self.q,
+            "steps_per_phase": self.steps_per_phase,
+            "total_phases": self.total_phases,
+            "total_steps": self.total_steps,
+            "set_congestion_bound": self.set_congestion_bound,
+        }

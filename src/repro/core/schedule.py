@@ -1,0 +1,162 @@
+"""Phase/round/step clock and frontier-frame geometry (Sections 2.5 and 3).
+
+Time is divided into *phases* of ``m`` *rounds* of ``w`` steps.  Frontier
+``i`` points at level ``f_i(k) = k − i·m`` during phase ``k`` (so frame
+``F_i`` enters the network at phase ``i·m`` and the frames are pipelined
+``m`` levels apart, never overlapping).  Frame ``F_i`` spans the levels
+``f_i .. f_i − m + 1``; *inner-level* ``j`` of the frame is network level
+``f_i − j``.  The *target level* is inner-level 0 during rounds 0 and 1 and
+inner-level ``j − 1`` during round ``j ≥ 2`` — it recedes one inner level
+per round while the frame as a whole advances one network level per phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .params import AlgorithmParams
+
+
+@dataclass(frozen=True)
+class PhaseClock:
+    """Pure time arithmetic for a given ``(m, w)``."""
+
+    m: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.w < 1:
+            raise ParameterError(f"need m, w >= 1, got m={self.m}, w={self.w}")
+
+    @property
+    def steps_per_phase(self) -> int:
+        """``m · w``."""
+        return self.m * self.w
+
+    def phase(self, t: int) -> int:
+        """Phase containing step ``t``."""
+        return t // self.steps_per_phase
+
+    def round(self, t: int) -> int:
+        """Round (0..m-1) within the phase containing step ``t``."""
+        return (t % self.steps_per_phase) // self.w
+
+    def step_in_round(self, t: int) -> int:
+        """Offset (0..w-1) within the round."""
+        return t % self.w
+
+    def is_phase_start(self, t: int) -> bool:
+        """Whether ``t`` is the first step of a phase."""
+        return t % self.steps_per_phase == 0
+
+    def is_phase_end(self, t: int) -> bool:
+        """Whether ``t`` is the last step of a phase."""
+        return (t + 1) % self.steps_per_phase == 0
+
+    def is_round_start(self, t: int) -> bool:
+        """Whether ``t`` is the first step of a round."""
+        return t % self.w == 0
+
+    def is_round_end(self, t: int) -> bool:
+        """Whether ``t`` is the last step of a round."""
+        return (t + 1) % self.w == 0
+
+    def phase_start(self, phase: int) -> int:
+        """First step of the given phase."""
+        return phase * self.steps_per_phase
+
+    def next_phase_start(self, t: int) -> int:
+        """First step of the phase after the one containing ``t``."""
+        return (self.phase(t) + 1) * self.steps_per_phase
+
+
+@dataclass(frozen=True)
+class FrameGeometry:
+    """Frontier-frame positions for a given parameterization and depth."""
+
+    params: AlgorithmParams
+
+    @property
+    def m(self) -> int:
+        """Frame size (inner levels)."""
+        return self.params.m
+
+    @property
+    def depth(self) -> int:
+        """Network depth ``L``."""
+        return self.params.depth
+
+    def frontier(self, set_index: int, phase: int) -> int:
+        """Level pointed at by frontier ``i`` during the given phase.
+
+        ``f_i = −i·m`` at phase 0, advancing one level per phase; the value
+        may lie outside ``0..L`` while the frame is outside the network.
+        """
+        self._check_set(set_index)
+        return phase - set_index * self.m
+
+    def frame_levels(self, set_index: int, phase: int) -> range:
+        """Network levels of frame ``F_i`` during ``phase`` (clipped to 0..L).
+
+        The range may be empty while the frame is entirely outside the
+        network.
+        """
+        f = self.frontier(set_index, phase)
+        lo = max(0, f - self.m + 1)
+        hi = min(self.depth, f)
+        return range(lo, hi + 1)
+
+    def inner_level(self, set_index: int, phase: int, level: int) -> int:
+        """Inner-level index of a network level within frame ``F_i``.
+
+        Inner-level ``k`` is network level ``f_i − k``; the result is
+        negative or ``>= m`` when the level is outside the frame.
+        """
+        return self.frontier(set_index, phase) - level
+
+    def in_frame(self, set_index: int, phase: int, level: int) -> bool:
+        """Whether a network level lies inside frame ``F_i``."""
+        k = self.inner_level(set_index, phase, level)
+        return 0 <= k < self.m
+
+    def target_inner_level(self, round_index: int) -> int:
+        """Inner level targeted during the given round (Section 2.5)."""
+        if not 0 <= round_index < self.m:
+            raise ParameterError(
+                f"round {round_index} outside 0..{self.m - 1}"
+            )
+        return 0 if round_index <= 1 else round_index - 1
+
+    def target_level(self, set_index: int, phase: int, round_index: int) -> int:
+        """Network level targeted by frame ``F_i`` in the given round."""
+        return self.frontier(set_index, phase) - self.target_inner_level(round_index)
+
+    def injection_level(self, set_index: int, phase: int) -> int:
+        """Network level of inner-level ``m−1``, where packets are injected."""
+        return self.frontier(set_index, phase) - (self.m - 1)
+
+    def injection_phase(self, set_index: int, source_level: int) -> int:
+        """The phase at whose start a packet of set ``i`` is injected.
+
+        The packet is injected when its source sits at inner-level ``m−1``:
+        ``f_i(k) − (m−1) = source_level`` gives ``k = i·m + m − 1 + level``.
+        """
+        self._check_set(set_index)
+        if not 0 <= source_level <= self.depth:
+            raise ParameterError(
+                f"source level {source_level} outside 0..{self.depth}"
+            )
+        return set_index * self.m + self.m - 1 + source_level
+
+    def exit_phase(self, set_index: int) -> int:
+        """First phase in which frame ``F_i`` has completely left the network."""
+        # The frame's lowest level f_i − m + 1 exceeds L when
+        # phase − i·m − m + 1 > L.
+        return set_index * self.m + self.m + self.depth
+
+    def _check_set(self, set_index: int) -> None:
+        if not 0 <= set_index < self.params.num_sets:
+            raise ParameterError(
+                f"frontier-set {set_index} outside 0..{self.params.num_sets - 1}"
+            )

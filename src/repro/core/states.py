@@ -1,0 +1,93 @@
+"""Per-packet algorithm state (the paper's Section 3 state machine).
+
+States and priorities, highest first: ``excited > normal > wait``.
+
+* A packet is injected ``normal`` and follows its current path toward its
+  target node.
+* A ``normal`` packet becomes ``excited`` with probability ``q`` each step;
+  an excited packet reverts to normal when deflected and at each round end.
+* Reaching the target node puts the packet in ``wait``: it oscillates on the
+  last edge it traversed, reverting to normal when deflected and at each
+  phase end.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..types import EdgeId, NodeId
+
+
+class PacketState(enum.IntEnum):
+    """Algorithm state; the numeric value *is* the conflict priority."""
+
+    WAIT = 1
+    NORMAL = 2
+    EXCITED = 3
+
+    @property
+    def priority(self) -> int:
+        """Conflict priority (higher wins)."""
+        return int(self)
+
+
+@dataclass
+class AlgorithmPacketState:
+    """Mutable per-packet record kept by the frontier-frame router."""
+
+    set_index: int
+    injection_phase: int
+    state: PacketState = PacketState.NORMAL
+    #: node the packet waits on (its target node), when in WAIT
+    wait_node: Optional[NodeId] = None
+    #: edge ``(v', v)`` the packet oscillates on, when in WAIT
+    wait_edge: Optional[EdgeId] = None
+    #: statistics
+    excitations: int = 0
+    wait_entries: int = 0
+    wait_evictions: int = 0
+
+    def enter_wait(self, node: NodeId, edge: EdgeId) -> None:
+        """Transition (normal|excited) -> wait on reaching the target node."""
+        self.state = PacketState.WAIT
+        self.wait_node = node
+        self.wait_edge = edge
+        self.wait_entries += 1
+
+    def leave_wait(self, evicted: bool) -> None:
+        """Transition wait -> normal (deflection or phase end)."""
+        self.state = PacketState.NORMAL
+        self.wait_node = None
+        self.wait_edge = None
+        if evicted:
+            self.wait_evictions += 1
+
+    def excite(self) -> None:
+        """Transition normal -> excited (probability-q coin)."""
+        self.state = PacketState.EXCITED
+        self.excitations += 1
+
+    def calm(self) -> None:
+        """Transition excited -> normal (deflection or round end)."""
+        self.state = PacketState.NORMAL
+
+
+@dataclass
+class StateCounters:
+    """Aggregate state statistics reported by the router.
+
+    ``per_state_steps`` accumulates packet-steps per state; the router
+    updates it on fast-forwarded spans (where it is cheap and exact) —
+    during executed steps the counters above carry the signal instead.
+    """
+
+    excitations: int = 0
+    wait_entries: int = 0
+    wait_evictions: int = 0
+    round_calms: int = 0
+    phase_releases: int = 0
+    per_state_steps: Dict[str, int] = field(
+        default_factory=lambda: {s.name: 0 for s in PacketState}
+    )

@@ -1,0 +1,24 @@
+"""Dynamic (continuous-injection) routing, after the paper's reference [9].
+
+The static engine already supports timed eligibility, so dynamic routing
+is: an arrival process (:mod:`arrivals`), a router that releases packets at
+their arrival times (:mod:`routers`), and latency/stability metrics
+(:mod:`metrics`).  Experiment T9 sweeps the injection rate toward the
+bandwidth limit and watches latency diverge — the classic stability
+picture.
+"""
+
+from .arrivals import Arrival, arrivals_to_problem, bernoulli_arrivals, offered_load
+from .routers import DynamicGreedyRouter, DynamicNaiveRouter
+from .metrics import DynamicStats, dynamic_stats
+
+__all__ = [
+    "Arrival",
+    "arrivals_to_problem",
+    "bernoulli_arrivals",
+    "offered_load",
+    "DynamicGreedyRouter",
+    "DynamicNaiveRouter",
+    "DynamicStats",
+    "dynamic_stats",
+]

@@ -1,0 +1,120 @@
+"""Stochastic arrival processes for dynamic routing experiments.
+
+The paper studies *static* (batch) problems; the deflection-routing
+literature it cites (Broder & Upfal, "Dynamic deflection routing on
+arrays", STOC'96 — reference [9]) studies packets arriving continuously.
+This module generates such traffic for the leveled setting: per-step
+Bernoulli/Poisson arrivals at injection-capable nodes, each packet drawn
+with a random forward destination and a monotone path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..net import LeveledNetwork
+from ..paths import PacketSpec, RoutingProblem, random_monotone_path
+from ..rng import RngLike, make_rng
+from ..types import NodeId
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One dynamically arriving packet."""
+
+    time: int
+    source: NodeId
+    destination: NodeId
+
+
+def bernoulli_arrivals(
+    net: LeveledNetwork,
+    rate: float,
+    horizon: int,
+    seed: RngLike = None,
+    source_levels: Optional[Sequence[int]] = None,
+    min_hops: int = 1,
+) -> List[Arrival]:
+    """Per-step, per-source Bernoulli(`rate`) arrivals over ``horizon`` steps.
+
+    ``rate`` is the injection probability per eligible source per step;
+    aggregate offered load is ``rate · |sources|`` packets/step.  Each
+    arrival's destination is uniform over forward-reachable nodes at least
+    ``min_hops`` ahead.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise WorkloadError(f"rate must be a probability, got {rate}")
+    if horizon < 1:
+        raise WorkloadError(f"horizon must be >= 1, got {horizon}")
+    rng = make_rng(seed)
+    levels = (
+        range(net.depth)
+        if source_levels is None
+        else [l for l in source_levels if 0 <= l < net.depth]
+    )
+    sources: List[NodeId] = []
+    reach_cache = {}
+    for level in levels:
+        for v in net.nodes_at_level(level):
+            if net.out_degree(v) == 0:
+                continue
+            options = [
+                u
+                for u in sorted(net.forward_reachable(v))
+                if net.level(u) >= net.level(v) + min_hops
+            ]
+            if options:
+                sources.append(v)
+                reach_cache[v] = options
+    if not sources:
+        raise WorkloadError("no injection-capable sources")
+    arrivals: List[Arrival] = []
+    for t in range(horizon):
+        coins = rng.random(len(sources))
+        for idx, v in enumerate(sources):
+            if coins[idx] < rate:
+                options = reach_cache[v]
+                dest = options[int(rng.integers(0, len(options)))]
+                arrivals.append(Arrival(time=t, source=v, destination=dest))
+    return arrivals
+
+
+def arrivals_to_problem(
+    net: LeveledNetwork,
+    arrivals: Sequence[Arrival],
+    seed: RngLike = None,
+) -> Tuple[RoutingProblem, List[int]]:
+    """Materialize arrivals as a multi-source routing problem.
+
+    Returns ``(problem, arrival_times)`` with packet ``k`` scheduled to
+    become injectable at ``arrival_times[k]``.  Paths are random monotone
+    paths drawn per packet.
+    """
+    rng = make_rng(seed)
+    specs = []
+    times = []
+    for k, arrival in enumerate(arrivals):
+        path = random_monotone_path(net, arrival.source, arrival.destination, rng)
+        specs.append(PacketSpec(k, arrival.source, arrival.destination, path))
+        times.append(arrival.time)
+    problem = RoutingProblem(net, specs, allow_multi_source=True)
+    return problem, times
+
+
+def offered_load(
+    net: LeveledNetwork, arrivals: Sequence[Arrival], horizon: int
+) -> float:
+    """Average offered load in packet-hops per step per unit bandwidth.
+
+    The natural utilization measure: total requested hops divided by
+    ``horizon · (forward edges)``; saturation is expected as this
+    approaches the bottleneck utilization 1.
+    """
+    if horizon < 1:
+        raise WorkloadError(f"horizon must be >= 1, got {horizon}")
+    hops = sum(
+        net.level(a.destination) - net.level(a.source) for a in arrivals
+    )
+    return hops / (horizon * max(1, net.num_edges))

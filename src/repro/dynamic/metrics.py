@@ -1,0 +1,72 @@
+"""Latency and stability metrics for dynamic runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim import RunResult
+
+
+@dataclass(frozen=True)
+class DynamicStats:
+    """Latency/stability summary of one dynamic run."""
+
+    offered: int
+    delivered: int
+    drained: bool
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    max_latency: float
+    mean_hop_stretch: float
+
+    def as_row(self) -> tuple:
+        """Bench table row."""
+        return (
+            self.offered,
+            self.delivered,
+            "yes" if self.drained else "NO",
+            f"{self.mean_latency:.1f}",
+            f"{self.p50_latency:.0f}",
+            f"{self.p95_latency:.0f}",
+            f"{self.mean_hop_stretch:.2f}",
+        )
+
+
+def dynamic_stats(
+    result: RunResult,
+    arrival_times: Sequence[int],
+    path_lengths: Optional[Sequence[int]] = None,
+) -> DynamicStats:
+    """Compute latency statistics (absorption − arrival) for a dynamic run."""
+    latencies: List[float] = []
+    stretches: List[float] = []
+    for pid, delivered_at in enumerate(result.delivery_times):
+        if delivered_at is None:
+            continue
+        latency = delivered_at - arrival_times[pid]
+        latencies.append(latency)
+        if path_lengths is not None and path_lengths[pid] > 0:
+            stretches.append(latency / path_lengths[pid])
+    if latencies:
+        arr = np.asarray(latencies, dtype=float)
+        mean = float(arr.mean())
+        p50, p95 = (float(q) for q in np.quantile(arr, [0.5, 0.95]))
+        worst = float(arr.max())
+    else:
+        mean = p50 = p95 = worst = float("nan")
+    return DynamicStats(
+        offered=result.num_packets,
+        delivered=result.delivered,
+        drained=result.all_delivered,
+        mean_latency=mean,
+        p50_latency=p50,
+        p95_latency=p95,
+        max_latency=worst,
+        mean_hop_stretch=(
+            float(np.mean(stretches)) if stretches else float("nan")
+        ),
+    )

@@ -1,0 +1,75 @@
+"""Dynamic-traffic router wrappers.
+
+The engine's eligibility mechanism already supports timed injection; these
+routers mark packets eligible at their arrival times instead of all at
+once.  Deflection policies are inherited from the static baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..baselines import GreedyHotPotatoRouter, NaivePathRouter
+from ..errors import WorkloadError
+from ..rng import RngLike
+from ..sim import Engine
+from ..types import PacketId
+
+
+class _ArrivalSchedule:
+    """Mixin: mark packets eligible when their arrival time comes."""
+
+    def _init_schedule(self, arrival_times: Sequence[int]) -> None:
+        if any(t < 0 for t in arrival_times):
+            raise WorkloadError("arrival times must be non-negative")
+        self._by_time: Dict[int, List[PacketId]] = {}
+        for pid, t in enumerate(arrival_times):
+            self._by_time.setdefault(int(t), []).append(pid)
+        self.arrival_times = list(arrival_times)
+
+    def _attach_schedule(self, engine: Engine) -> None:
+        if len(self.arrival_times) != len(engine.packets):
+            raise WorkloadError(
+                f"{len(self.arrival_times)} arrival times for "
+                f"{len(engine.packets)} packets"
+            )
+
+    def _release(self, engine: Engine, t: int) -> None:
+        for pid in self._by_time.get(t, ()):
+            engine.mark_eligible(pid)
+
+
+class DynamicNaiveRouter(_ArrivalSchedule, NaivePathRouter):
+    """Path-following deflection routing with timed arrivals."""
+
+    def __init__(self, arrival_times: Sequence[int]) -> None:
+        self._init_schedule(arrival_times)
+
+    def attach(self, engine: Engine) -> None:
+        Router_attach(self, engine)
+        self._attach_schedule(engine)
+
+    def pre_step(self, t: int) -> None:
+        self._release(self.engine, t)
+
+
+class DynamicGreedyRouter(_ArrivalSchedule, GreedyHotPotatoRouter):
+    """Distance-greedy deflection routing with timed arrivals."""
+
+    def __init__(self, arrival_times: Sequence[int], seed: RngLike = None) -> None:
+        GreedyHotPotatoRouter.__init__(self, seed=seed)
+        self._init_schedule(arrival_times)
+
+    def attach(self, engine: Engine) -> None:
+        Router_attach(self, engine)
+        self._attach_schedule(engine)
+
+    def pre_step(self, t: int) -> None:
+        self._release(self.engine, t)
+
+
+def Router_attach(router, engine: Engine) -> None:
+    """Attach without the static baselines' mark-all-eligible behavior."""
+    from ..sim import Router
+
+    Router.attach(router, engine)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch everything library-specific with a single ``except`` clause while
+still being able to distinguish the failure domains (topology construction,
+path selection, simulation, algorithm parameterization, invariant auditing).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """A leveled network is structurally invalid or cannot be built.
+
+    Raised, for example, when an edge is added between nodes that are not on
+    consecutive levels, or when a builder parameter is out of range.
+    """
+
+
+class PathError(ReproError):
+    """A path is invalid (broken edge chain, wrong orientation, no route)."""
+
+
+class WorkloadError(ReproError):
+    """A routing workload violates the paper's problem model.
+
+    The paper studies many-to-one problems with at most one packet injected
+    per source node; generators raise this error rather than silently produce
+    an out-of-model instance.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state.
+
+    This signals a bug (e.g. two packets granted the same directed edge slot
+    in one step), never an expected runtime condition.
+    """
+
+
+class CapacityError(SimulationError):
+    """A node had more resident packets than outgoing directed-edge slots."""
+
+
+class ParameterError(ReproError):
+    """Algorithm parameters are inconsistent or out of their legal range."""
+
+
+class InvariantViolation(ReproError):
+    """An audited run violated one of the paper's invariants I_a..I_f.
+
+    Only raised when the auditor runs in ``strict`` mode; otherwise
+    violations are recorded and reported.
+    """

@@ -1,0 +1,35 @@
+"""Experiment harness shared by benchmarks/ and examples/."""
+
+from .runner import (
+    TrialRecord,
+    run_frontier_trial,
+    run_router_trial,
+    run_frontier_trials,
+)
+from .configs import (
+    butterfly_random_instance,
+    butterfly_hotrow_instance,
+    deep_random_instance,
+    mesh_monotone_instance,
+    mesh_corner_shift_instance,
+    funnel_instance,
+    small_audit_suite,
+    baseline_budget,
+    BASELINE_BUDGET_FACTOR,
+)
+
+__all__ = [
+    "TrialRecord",
+    "run_frontier_trial",
+    "run_router_trial",
+    "run_frontier_trials",
+    "butterfly_random_instance",
+    "butterfly_hotrow_instance",
+    "deep_random_instance",
+    "mesh_monotone_instance",
+    "mesh_corner_shift_instance",
+    "funnel_instance",
+    "small_audit_suite",
+    "baseline_budget",
+    "BASELINE_BUDGET_FACTOR",
+]

@@ -1,0 +1,130 @@
+"""Canonical experiment instances.
+
+Each builder returns a labeled :class:`~repro.paths.RoutingProblem` used by
+one or more benches; centralizing them here keeps EXPERIMENTS.md's "workload
+and parameters" column authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..net import butterfly, mesh, random_leveled
+from ..paths import (
+    RoutingProblem,
+    select_paths_bit_fixing,
+    select_paths_bottleneck,
+    select_paths_dimension_order,
+    select_paths_random,
+)
+from ..rng import make_rng, stable_hash_seed
+from ..workloads import (
+    butterfly_workloads,
+    mesh_workloads,
+    random_many_to_one,
+)
+
+
+def butterfly_random_instance(dim: int, seed: int) -> RoutingProblem:
+    """Random end-to-end traffic on a butterfly (unique bit-fixing paths)."""
+    net = butterfly(dim)
+    workload = butterfly_workloads.random_end_to_end(net, seed=seed)
+    return select_paths_bit_fixing(net, workload.endpoints)
+
+
+def butterfly_hotrow_instance(dim: int, num_packets: int, seed: int) -> RoutingProblem:
+    """Hot-row butterfly traffic: congestion ``C = Θ(num_packets)``.
+
+    The C-sweep axis of experiment T1 (depth fixed at ``dim``).
+    """
+    net = butterfly(dim)
+    workload = butterfly_workloads.hot_row(net, num_packets, seed=seed)
+    return select_paths_bit_fixing(net, workload.endpoints)
+
+
+def deep_random_instance(
+    depth: int,
+    width: int,
+    num_packets: int,
+    seed: int,
+    low_congestion: bool = True,
+) -> RoutingProblem:
+    """Random many-to-one on a width-``width`` random leveled network.
+
+    The L-sweep axis of experiment T1 (congestion held low by bottleneck
+    path selection when ``low_congestion``).
+    """
+    net = random_leveled(
+        [width] * (depth + 1),
+        edge_probability=0.5,
+        seed=stable_hash_seed(seed, 11),
+        min_out_degree=2,
+        min_in_degree=2,
+    )
+    workload = random_many_to_one(
+        net,
+        num_packets,
+        seed=stable_hash_seed(seed, 12),
+        source_levels=range(0, max(1, depth // 4)),
+        min_dest_level=max(1, (3 * depth) // 4),
+    )
+    selector_seed = stable_hash_seed(seed, 13)
+    if low_congestion:
+        return select_paths_bottleneck(net, workload.endpoints, seed=selector_seed)
+    return select_paths_random(net, workload.endpoints, seed=selector_seed)
+
+
+def mesh_monotone_instance(n: int, num_packets: int, seed: int) -> RoutingProblem:
+    """Section 5's application: monotone traffic + dimension-order paths."""
+    net = mesh(n, n)
+    workload = mesh_workloads.monotone_random_pairs(net, num_packets, seed=seed)
+    return select_paths_dimension_order(net, workload.endpoints)
+
+
+def mesh_corner_shift_instance(n: int, block: int | None = None) -> RoutingProblem:
+    """Deterministic high-congestion monotone mesh instance."""
+    net = mesh(n, n)
+    workload = mesh_workloads.corner_shift(net, block=block)
+    return select_paths_dimension_order(net, workload.endpoints)
+
+
+def funnel_instance(dim: int, num_packets: int, seed: int) -> RoutingProblem:
+    """Adversarial butterfly instance: every path crosses one edge (C = N)."""
+    from ..workloads import funnel_through_edge
+
+    net = butterfly(dim)
+    return funnel_through_edge(net, num_packets, seed=stable_hash_seed(seed, 17))
+
+
+def small_audit_suite(seed: int) -> List[Tuple[str, RoutingProblem]]:
+    """The audited-invariant battery of experiment T3 (varied topologies)."""
+    rng = make_rng(seed)
+    suite: List[Tuple[str, RoutingProblem]] = []
+    suite.append(("butterfly(4) random", butterfly_random_instance(4, int(rng.integers(1 << 30)))))
+    suite.append(
+        (
+            "butterfly(4) hot-row",
+            butterfly_hotrow_instance(4, 8, int(rng.integers(1 << 30))),
+        )
+    )
+    suite.append(
+        (
+            "random L=20 w=6",
+            deep_random_instance(20, 6, 12, int(rng.integers(1 << 30))),
+        )
+    )
+    suite.append(
+        ("mesh 8x8 monotone", mesh_monotone_instance(8, 16, int(rng.integers(1 << 30))))
+    )
+    return suite
+
+
+#: Baseline step budget multiplier: bufferless baselines may thrash, so give
+#: them a generous multiple of the trivial bound before declaring livelock.
+BASELINE_BUDGET_FACTOR = 400
+
+
+def baseline_budget(problem: RoutingProblem) -> int:
+    """Step budget for baseline routers on one problem."""
+    scale = max(problem.congestion + problem.dilation, 1)
+    return BASELINE_BUDGET_FACTOR * scale + 2000

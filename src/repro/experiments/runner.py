@@ -1,0 +1,114 @@
+"""Seeded multi-trial experiment runner.
+
+Shared by the benchmark harness and the examples: builds the router for a
+problem, runs it (optionally under the invariant auditor), and collects
+per-trial records so benches only format tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core import (
+    AlgorithmParams,
+    AuditReport,
+    FrontierFrameRouter,
+    InvariantAuditor,
+    resample_until_bounded,
+)
+from ..paths import RoutingProblem
+from ..rng import stable_hash_seed
+from ..sim import Engine, RunResult, Router
+
+
+@dataclass
+class TrialRecord:
+    """One routing trial."""
+
+    seed: int
+    result: RunResult
+    audit: Optional[AuditReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """Delivered everything and (if audited) kept every invariant."""
+        delivered = self.result.all_delivered
+        return delivered and (self.audit is None or self.audit.ok)
+
+
+def run_frontier_trial(
+    problem: RoutingProblem,
+    seed: int,
+    params: Optional[AlgorithmParams] = None,
+    audit: bool = False,
+    condition_sets: bool = False,
+    fast_forward: bool = True,
+    max_steps: Optional[int] = None,
+    audit_congestion_bound: Optional[float] = None,
+    **params_kwargs,
+) -> TrialRecord:
+    """Run the frontier-frame algorithm once on ``problem``.
+
+    ``condition_sets`` resamples the frontier-set assignment until Lemma
+    2.2's good event holds (per-set congestion within the configured bound);
+    otherwise the assignment is drawn uniformly as in the paper.
+    """
+    if params is None:
+        params = AlgorithmParams.practical(
+            max(1, problem.congestion),
+            problem.net.depth,
+            problem.num_packets,
+            **params_kwargs,
+        )
+    set_of = None
+    if condition_sets:
+        set_of = resample_until_bounded(
+            problem,
+            params.num_sets,
+            params.set_congestion_bound,
+            seed=stable_hash_seed(seed, 1),
+        )
+    router = FrontierFrameRouter(
+        params, set_of=set_of, seed=stable_hash_seed(seed, 2)
+    )
+    engine = Engine(
+        problem,
+        router,
+        seed=stable_hash_seed(seed, 3),
+        enable_fast_forward=fast_forward,
+    )
+    report = None
+    if audit:
+        auditor = InvariantAuditor(
+            router, congestion_bound=audit_congestion_bound
+        )
+        auditor.install(engine)
+        report = auditor.report
+    budget = max_steps if max_steps is not None else params.total_steps
+    result = engine.run(budget)
+    return TrialRecord(seed=seed, result=result, audit=report)
+
+
+def run_router_trial(
+    problem: RoutingProblem,
+    router_factory: Callable[[int], Router],
+    seed: int,
+    max_steps: int,
+) -> RunResult:
+    """Run an arbitrary engine router once (baseline comparisons)."""
+    router = router_factory(stable_hash_seed(seed, 4))
+    engine = Engine(problem, router, seed=stable_hash_seed(seed, 5))
+    return engine.run(max_steps)
+
+
+def run_frontier_trials(
+    problem_factory: Callable[[int], RoutingProblem],
+    seeds: Sequence[int],
+    **kwargs,
+) -> List[TrialRecord]:
+    """One frontier trial per seed, each on a freshly generated problem."""
+    return [
+        run_frontier_trial(problem_factory(seed), seed=seed, **kwargs)
+        for seed in seeds
+    ]

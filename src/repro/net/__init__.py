@@ -1,0 +1,88 @@
+"""Leveled-network topologies (the paper's Section 1.1 and Figure 1).
+
+The central class is :class:`LeveledNetwork`; the factories build the
+topologies the paper names as leveled networks (butterfly, mesh, hypercube,
+multidimensional array, shuffle-exchange/omega, fat-tree) plus the simple and
+random families used by the test and benchmark suites.
+"""
+
+from .leveled import LeveledNetwork, LeveledNetworkBuilder, iter_edge_endpoints
+from .butterfly import butterfly, butterfly_node, butterfly_dim, wrapped_butterfly_rows
+from .mesh import MeshCorner, mesh, mesh_node, mesh_coords, mesh_shape
+from .hypercube import hypercube, hypercube_node, hypercube_address
+from .multidim import multidim_array, array_node, array_coords
+from .omega import omega_network, omega_node
+from .benes import benes, benes_node, benes_rows
+from .fat_tree import fat_tree, fat_tree_node, fat_tree_leaf_count, fat_tree_shape
+from .simple import (
+    line,
+    line_node,
+    complete_binary_tree,
+    tree_node,
+    layered_complete,
+    layered_node,
+    diamond,
+)
+from .random_leveled import random_leveled, random_level_sizes
+from .validation import ValidationReport, validate_leveled, assert_valid
+from .properties import (
+    TopologyProfile,
+    profile,
+    max_forward_capacity,
+    bottleneck_level,
+)
+from .convert import to_networkx, to_networkx_multi, from_networkx
+from .unroll import UnrolledDag, longest_path_layers, unroll_dag, random_dag
+
+__all__ = [
+    "LeveledNetwork",
+    "LeveledNetworkBuilder",
+    "iter_edge_endpoints",
+    "butterfly",
+    "butterfly_node",
+    "butterfly_dim",
+    "wrapped_butterfly_rows",
+    "MeshCorner",
+    "mesh",
+    "mesh_node",
+    "mesh_coords",
+    "mesh_shape",
+    "hypercube",
+    "hypercube_node",
+    "hypercube_address",
+    "multidim_array",
+    "array_node",
+    "array_coords",
+    "omega_network",
+    "omega_node",
+    "benes",
+    "benes_node",
+    "benes_rows",
+    "fat_tree",
+    "fat_tree_node",
+    "fat_tree_leaf_count",
+    "fat_tree_shape",
+    "line",
+    "line_node",
+    "complete_binary_tree",
+    "tree_node",
+    "layered_complete",
+    "layered_node",
+    "diamond",
+    "random_leveled",
+    "random_level_sizes",
+    "ValidationReport",
+    "validate_leveled",
+    "assert_valid",
+    "TopologyProfile",
+    "profile",
+    "max_forward_capacity",
+    "bottleneck_level",
+    "to_networkx",
+    "to_networkx_multi",
+    "from_networkx",
+    "UnrolledDag",
+    "longest_path_layers",
+    "unroll_dag",
+    "random_dag",
+]

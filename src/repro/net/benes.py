@@ -1,0 +1,52 @@
+"""Beneš networks.
+
+A Beneš network is two butterflies glued back to back: ``2·dim + 1`` levels
+of ``2**dim`` rows, rearrangeably non-blocking (any permutation of inputs
+to outputs is routable on edge-disjoint paths).  It is naturally leveled,
+so the frontier-frame algorithm applies directly — a richer multistage
+testbed than the butterfly, with *many* paths per input/output pair
+instead of exactly one.
+
+Construction: levels ``0..dim`` form a butterfly whose cross edges flip bit
+``dim-1-l`` at level ``l`` (the "fan-in" half mirrored), and levels
+``dim..2·dim`` flip bit ``l-dim`` — i.e. bit significance descends to 0 at
+the middle and ascends again.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def benes(dim: int) -> LeveledNetwork:
+    """Build the ``dim``-dimensional Beneš network (depth ``L = 2·dim``)."""
+    if dim < 1:
+        raise TopologyError(f"Benes dimension must be >= 1, got {dim}")
+    rows = 1 << dim
+    builder = LeveledNetworkBuilder(name=f"benes({dim})")
+    depth = 2 * dim
+    for level in range(depth + 1):
+        for row in range(rows):
+            builder.add_node(level, label=("bn", level, row))
+    for level in range(depth):
+        if level < dim:
+            bit = 1 << (dim - 1 - level)
+        else:
+            bit = 1 << (level - dim)
+        for row in range(rows):
+            src = builder.node(("bn", level, row))
+            builder.add_edge(src, builder.node(("bn", level + 1, row)))
+            builder.add_edge(src, builder.node(("bn", level + 1, row ^ bit)))
+    return builder.build()
+
+
+def benes_node(net: LeveledNetwork, level: int, row: int) -> NodeId:
+    """Node id of Beneš coordinate ``(level, row)``."""
+    return net.node_by_label(("bn", level, row))
+
+
+def benes_rows(net: LeveledNetwork) -> int:
+    """Number of rows (``2**dim``)."""
+    return len(net.nodes_at_level(0))

@@ -1,0 +1,55 @@
+"""Butterfly networks (the paper's Figure 1, left).
+
+A ``dim``-dimensional butterfly has ``dim + 1`` levels of ``2**dim`` rows
+each.  Node ``(l, r)`` connects to ``(l+1, r)`` (the *straight* edge) and to
+``(l+1, r XOR 2**(dim-1-l))`` (the *cross* edge), so a packet entering at
+level 0 can reach any row at level ``dim`` by fixing one address bit per
+level — the classic bit-fixing property used by
+:func:`repro.paths.butterfly_paths.bit_fixing_path`.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def butterfly(dim: int) -> LeveledNetwork:
+    """Build the ``dim``-dimensional butterfly.
+
+    Parameters
+    ----------
+    dim:
+        Number of address bits; the network has ``(dim+1) * 2**dim`` nodes
+        and depth ``L = dim``.
+    """
+    if dim < 1:
+        raise TopologyError(f"butterfly dimension must be >= 1, got {dim}")
+    rows = 1 << dim
+    builder = LeveledNetworkBuilder(name=f"butterfly({dim})")
+    for level in range(dim + 1):
+        for row in range(rows):
+            builder.add_node(level, label=("bf", level, row))
+    for level in range(dim):
+        bit = 1 << (dim - 1 - level)
+        for row in range(rows):
+            src = builder.node(("bf", level, row))
+            builder.add_edge(src, builder.node(("bf", level + 1, row)))
+            builder.add_edge(src, builder.node(("bf", level + 1, row ^ bit)))
+    return builder.build()
+
+
+def butterfly_node(net: LeveledNetwork, level: int, row: int) -> NodeId:
+    """Node id of butterfly coordinate ``(level, row)``."""
+    return net.node_by_label(("bf", level, row))
+
+
+def butterfly_dim(net: LeveledNetwork) -> int:
+    """Recover ``dim`` from a butterfly built by :func:`butterfly`."""
+    return net.depth
+
+
+def wrapped_butterfly_rows(net: LeveledNetwork) -> int:
+    """Number of rows (``2**dim``) of a butterfly network."""
+    return len(net.nodes_at_level(0))

@@ -1,0 +1,66 @@
+"""Conversion between :class:`~repro.net.LeveledNetwork` and networkx graphs.
+
+networkx is an *optional* dependency (listed under the ``dev`` extra): the
+library itself never imports it at module scope, so the core simulator works
+without it.  The converters are handy for ad-hoc analysis and plotting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import TopologyError
+from .leveled import LeveledNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx as nx
+
+
+def to_networkx(net: LeveledNetwork) -> "nx.DiGraph":
+    """Export as a directed graph with ``level`` node attributes.
+
+    Edge keys carry the edge id in the ``edge_id`` attribute; parallel edges
+    collapse (use :func:`to_networkx_multi` to keep them).
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph(name=net.name)
+    for v in net.nodes():
+        graph.add_node(v, level=net.level(v), label=net.label(v))
+    for e in net.edges():
+        src, dst = net.edge_endpoints(e)
+        graph.add_edge(src, dst, edge_id=e)
+    return graph
+
+
+def to_networkx_multi(net: LeveledNetwork) -> "nx.MultiDiGraph":
+    """Export as a multigraph, preserving parallel edges (fat-trees)."""
+    import networkx as nx
+
+    graph = nx.MultiDiGraph(name=net.name)
+    for v in net.nodes():
+        graph.add_node(v, level=net.level(v), label=net.label(v))
+    for e in net.edges():
+        src, dst = net.edge_endpoints(e)
+        graph.add_edge(src, dst, key=e, edge_id=e)
+    return graph
+
+
+def from_networkx(graph: "nx.DiGraph", name: str = "imported") -> LeveledNetwork:
+    """Import a directed graph whose nodes carry integer ``level`` attributes.
+
+    Node ids are re-densified in level-major order; edges must join
+    consecutive levels or :class:`~repro.errors.TopologyError` is raised.
+    """
+    try:
+        items = sorted(
+            graph.nodes(data=True),
+            key=lambda item: (int(item[1]["level"]), repr(item[0])),
+        )
+    except KeyError:
+        raise TopologyError("every node needs an integer 'level' attribute")
+    index = {node: i for i, (node, _) in enumerate(items)}
+    levels = [int(data["level"]) for _, data in items]
+    labels = [node for node, _ in items]
+    edges = [(index[u], index[v]) for u, v in graph.edges()]
+    return LeveledNetwork(levels, edges, node_labels=labels, name=name)

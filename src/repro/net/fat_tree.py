@@ -1,0 +1,66 @@
+"""Fat-trees as leveled networks.
+
+The paper lists the fat-tree among leveled-network topologies.  We level the
+tree by depth with the *leaves* at level 0 and the root at level ``height``,
+so the up-phase of fat-tree routing (leaf to least common ancestor) is a
+forward leveled route.  "Fatness" is modeled by parallel edges: a node at
+tree depth ``d`` below the root is joined to its parent by
+``min(capacity_cap, branching**(height-d) / branching**(height-d))``-style
+multiplicity; concretely we use ``fatness(level) = min(cap, 2**level)``,
+doubling toward the root as in the classic area-universal fat-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def fat_tree(height: int, branching: int = 2, capacity_cap: int = 8) -> LeveledNetwork:
+    """Build a fat-tree with ``branching**height`` leaves.
+
+    Level ``l`` holds the ``branching**(height-l)`` tree nodes at depth
+    ``height - l``; leaves are level 0 and the root is level ``height``.
+    Each child is joined to its parent by ``min(capacity_cap, 2**l)``
+    parallel edges where ``l`` is the child's level.
+    """
+    if height < 1:
+        raise TopologyError(f"fat-tree height must be >= 1, got {height}")
+    if branching < 2:
+        raise TopologyError(f"fat-tree branching must be >= 2, got {branching}")
+    if capacity_cap < 1:
+        raise TopologyError(f"capacity cap must be >= 1, got {capacity_cap}")
+    builder = LeveledNetworkBuilder(name=f"fat_tree(h={height},b={branching})")
+    for level in range(height + 1):
+        for index in range(branching ** (height - level)):
+            builder.add_node(level, label=("ft", level, index))
+    for level in range(height):
+        fatness = min(capacity_cap, 1 << level)
+        for index in range(branching ** (height - level)):
+            child = builder.node(("ft", level, index))
+            parent = builder.node(("ft", level + 1, index // branching))
+            for _ in range(fatness):
+                builder.add_edge(child, parent)
+    return builder.build()
+
+
+def fat_tree_node(net: LeveledNetwork, level: int, index: int) -> NodeId:
+    """Node id of fat-tree coordinate ``(level, index)``."""
+    return net.node_by_label(("ft", level, index))
+
+
+def fat_tree_leaf_count(net: LeveledNetwork) -> int:
+    """Number of leaves (level-0 nodes)."""
+    return len(net.nodes_at_level(0))
+
+
+def fat_tree_shape(net: LeveledNetwork) -> Tuple[int, int]:
+    """``(height, branching)`` recovered from a fat-tree network."""
+    height = net.depth
+    leaves = fat_tree_leaf_count(net)
+    level1 = len(net.nodes_at_level(1)) if height >= 1 else 1
+    branching = leaves // max(1, level1)
+    return height, branching

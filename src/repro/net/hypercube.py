@@ -1,0 +1,59 @@
+"""The hypercube viewed as a leveled network.
+
+The paper lists the hypercube among networks "that can be treated as leveled
+networks".  The standard leveled view puts node ``x`` (a ``dim``-bit address)
+on level ``popcount(x)``: every hypercube edge flips exactly one bit and so
+joins consecutive levels.  Forward routing then corresponds to monotone
+bit-fixing that only turns 0-bits into 1-bits; a general routing problem is
+handled by composing an up-phase and a down-phase (two leveled instances).
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def hypercube(dim: int, descending: bool = False) -> LeveledNetwork:
+    """Build the ``dim``-dimensional hypercube leveled by Hamming weight.
+
+    Depth is ``L = dim``.  In the default *ascending* orientation level
+    ``k`` holds the addresses of weight ``k`` and edges set a 0-bit; with
+    ``descending=True`` the leveling is complemented (level ``dim − k``)
+    and edges *clear* a 1-bit — the orientation used by the down phase of
+    general two-phase hypercube routing (see
+    ``examples/hypercube_two_phase.py``).
+    """
+    if dim < 1:
+        raise TopologyError(f"hypercube dimension must be >= 1, got {dim}")
+    suffix = ",down" if descending else ""
+    builder = LeveledNetworkBuilder(name=f"hypercube({dim}{suffix})")
+    for address in range(1 << dim):
+        weight = int(bin(address).count("1"))
+        level = dim - weight if descending else weight
+        builder.add_node(level, label=("hc", address))
+    for address in range(1 << dim):
+        node = builder.node(("hc", address))
+        for bit in range(dim):
+            mask = 1 << bit
+            if descending:
+                if address & mask:
+                    builder.add_edge(node, builder.node(("hc", address & ~mask)))
+            else:
+                if not address & mask:
+                    builder.add_edge(node, builder.node(("hc", address | mask)))
+    return builder.build()
+
+
+def hypercube_node(net: LeveledNetwork, address: int) -> NodeId:
+    """Node id of the given hypercube address."""
+    return net.node_by_label(("hc", address))
+
+
+def hypercube_address(net: LeveledNetwork, node: NodeId) -> int:
+    """Address (bit string) of a hypercube node."""
+    label = net.label(node)
+    if not (isinstance(label, tuple) and len(label) == 2 and label[0] == "hc"):
+        raise TopologyError(f"node {node} is not a hypercube node (label {label!r})")
+    return label[1]

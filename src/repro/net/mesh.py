@@ -1,0 +1,99 @@
+"""Meshes viewed as leveled networks (the paper's Figure 1, right).
+
+An ``n x m`` mesh becomes a leveled network by picking one corner as level 0
+and letting the level of a cell be its grid (L1) distance from that corner:
+with corner ``(0, 0)`` the level of cell ``(i, j)`` is ``i + j``, so every
+grid edge joins consecutive levels and depth is ``L = (n-1) + (m-1)``.
+
+The paper notes the mesh "can be viewed in four different ways as a leveled
+network, according to which corner node is level 0"; :class:`MeshCorner`
+enumerates the four orientations.  A monotone routing problem (destination
+weakly to the high-level side of the source in both coordinates) is routable
+within a single orientation; general problems decompose into four monotone
+classes (see ``examples/mesh_routing.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+class MeshCorner(enum.Enum):
+    """Which corner of the mesh is level 0."""
+
+    NORTH_WEST = "nw"  # level(i, j) = i + j
+    NORTH_EAST = "ne"  # level(i, j) = i + (m-1-j)
+    SOUTH_WEST = "sw"  # level(i, j) = (n-1-i) + j
+    SOUTH_EAST = "se"  # level(i, j) = (n-1-i) + (m-1-j)
+
+
+def _cell_level(corner: MeshCorner, rows: int, cols: int, i: int, j: int) -> int:
+    if corner is MeshCorner.NORTH_WEST:
+        return i + j
+    if corner is MeshCorner.NORTH_EAST:
+        return i + (cols - 1 - j)
+    if corner is MeshCorner.SOUTH_WEST:
+        return (rows - 1 - i) + j
+    return (rows - 1 - i) + (cols - 1 - j)
+
+
+def mesh(
+    rows: int, cols: int, corner: MeshCorner = MeshCorner.NORTH_WEST
+) -> LeveledNetwork:
+    """Build an ``rows x cols`` mesh leveled from the given corner.
+
+    Nodes are labeled ``("mesh", i, j)``; depth is ``rows + cols - 2``.
+    """
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"mesh dimensions must be >= 1, got {rows}x{cols}")
+    if rows * cols < 2:
+        raise TopologyError("mesh needs at least two cells to have levels 0 and 1")
+    builder = LeveledNetworkBuilder(name=f"mesh({rows}x{cols},{corner.value})")
+    for i in range(rows):
+        for j in range(cols):
+            builder.add_node(
+                _cell_level(corner, rows, cols, i, j), label=("mesh", i, j)
+            )
+    for i in range(rows):
+        for j in range(cols):
+            here = builder.node(("mesh", i, j))
+            level_here = _cell_level(corner, rows, cols, i, j)
+            for di, dj in ((1, 0), (0, 1)):
+                ni, nj = i + di, j + dj
+                if ni < rows and nj < cols:
+                    there = builder.node(("mesh", ni, nj))
+                    level_there = _cell_level(corner, rows, cols, ni, nj)
+                    if level_there == level_here + 1:
+                        builder.add_edge(here, there)
+                    else:
+                        builder.add_edge(there, here)
+    return builder.build()
+
+
+def mesh_node(net: LeveledNetwork, i: int, j: int) -> NodeId:
+    """Node id of mesh cell ``(i, j)``."""
+    return net.node_by_label(("mesh", i, j))
+
+
+def mesh_coords(net: LeveledNetwork, node: NodeId) -> Tuple[int, int]:
+    """Grid coordinates of a mesh node."""
+    label = net.label(node)
+    if not (isinstance(label, tuple) and len(label) == 3 and label[0] == "mesh"):
+        raise TopologyError(f"node {node} is not a mesh cell (label {label!r})")
+    return label[1], label[2]
+
+
+def mesh_shape(net: LeveledNetwork) -> Tuple[int, int]:
+    """``(rows, cols)`` of a mesh built by :func:`mesh`."""
+    rows = 0
+    cols = 0
+    for node in net.nodes():
+        i, j = mesh_coords(net, node)
+        rows = max(rows, i + 1)
+        cols = max(cols, j + 1)
+    return rows, cols

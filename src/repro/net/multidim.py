@@ -1,0 +1,55 @@
+"""Multidimensional arrays as leveled networks.
+
+A ``d``-dimensional array of shape ``(n_1, ..., n_d)`` generalizes the mesh:
+the level of cell ``(x_1, ..., x_d)`` is ``sum(x_k)`` and every array edge
+(unit step in one coordinate) joins consecutive levels.  Depth is
+``L = sum(n_k - 1)``.  The paper lists the multidimensional array among the
+leveled-network family; the 2-dimensional case coincides with
+:func:`repro.net.mesh.mesh` in its NORTH_WEST orientation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence, Tuple
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def multidim_array(shape: Sequence[int]) -> LeveledNetwork:
+    """Build the array of the given shape, leveled by coordinate sum."""
+    dims = tuple(int(n) for n in shape)
+    if not dims:
+        raise TopologyError("array shape must have at least one dimension")
+    if any(n < 1 for n in dims):
+        raise TopologyError(f"array shape entries must be >= 1, got {dims}")
+    if max(dims) < 2:
+        raise TopologyError("array needs at least one dimension of size >= 2")
+    builder = LeveledNetworkBuilder(
+        name="array(" + "x".join(str(n) for n in dims) + ")"
+    )
+    for coords in itertools.product(*(range(n) for n in dims)):
+        builder.add_node(sum(coords), label=("arr",) + coords)
+    for coords in itertools.product(*(range(n) for n in dims)):
+        src = builder.node(("arr",) + coords)
+        for axis, n in enumerate(dims):
+            if coords[axis] + 1 < n:
+                nxt = list(coords)
+                nxt[axis] += 1
+                builder.add_edge(src, builder.node(("arr",) + tuple(nxt)))
+    return builder.build()
+
+
+def array_node(net: LeveledNetwork, coords: Sequence[int]) -> NodeId:
+    """Node id of the cell at the given coordinates."""
+    return net.node_by_label(("arr",) + tuple(coords))
+
+
+def array_coords(net: LeveledNetwork, node: NodeId) -> Tuple[int, ...]:
+    """Coordinates of an array node."""
+    label = net.label(node)
+    if not (isinstance(label, tuple) and label and label[0] == "arr"):
+        raise TopologyError(f"node {node} is not an array cell (label {label!r})")
+    return tuple(label[1:])

@@ -1,0 +1,44 @@
+"""Omega (unrolled shuffle-exchange) multistage networks.
+
+The paper lists the shuffle-exchange among networks treatable as leveled
+networks.  The standard leveled treatment unrolls it into the *omega*
+multistage network: ``dim + 1`` levels of ``2**dim`` rows, where row ``r`` at
+level ``l`` connects to rows ``shuffle(r)`` and ``shuffle(r) XOR 1`` at level
+``l + 1`` (``shuffle`` is the 1-bit cyclic left rotation).  After ``dim``
+levels any input row can reach any output row.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def _shuffle(row: int, dim: int) -> int:
+    """Cyclic left rotation of a ``dim``-bit row index."""
+    top = (row >> (dim - 1)) & 1
+    return ((row << 1) & ((1 << dim) - 1)) | top
+
+
+def omega_network(dim: int) -> LeveledNetwork:
+    """Build the ``dim``-stage omega network (depth ``L = dim``)."""
+    if dim < 1:
+        raise TopologyError(f"omega dimension must be >= 1, got {dim}")
+    rows = 1 << dim
+    builder = LeveledNetworkBuilder(name=f"omega({dim})")
+    for level in range(dim + 1):
+        for row in range(rows):
+            builder.add_node(level, label=("om", level, row))
+    for level in range(dim):
+        for row in range(rows):
+            src = builder.node(("om", level, row))
+            shuffled = _shuffle(row, dim)
+            builder.add_edge(src, builder.node(("om", level + 1, shuffled)))
+            builder.add_edge(src, builder.node(("om", level + 1, shuffled ^ 1)))
+    return builder.build()
+
+
+def omega_node(net: LeveledNetwork, level: int, row: int) -> NodeId:
+    """Node id of omega coordinate ``(level, row)``."""
+    return net.node_by_label(("om", level, row))

@@ -1,0 +1,80 @@
+"""Descriptive properties of leveled networks (degree profiles, widths).
+
+Used by experiment E1's report table and by workload generators that need to
+know, e.g., how many packets a level can source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .leveled import LeveledNetwork
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """Summary statistics of a leveled network."""
+
+    name: str
+    depth: int
+    num_nodes: int
+    num_edges: int
+    level_sizes: Tuple[int, ...]
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    max_out_degree: int
+    max_in_degree: int
+    is_regular_levels: bool  # all levels the same width
+
+    def as_row(self) -> Tuple:
+        """Row used by the E1 bench table."""
+        return (
+            self.name,
+            self.depth,
+            self.num_nodes,
+            self.num_edges,
+            f"{self.min_degree}..{self.max_degree}",
+            f"{self.mean_degree:.2f}",
+        )
+
+
+def profile(net: LeveledNetwork) -> TopologyProfile:
+    """Compute a :class:`TopologyProfile` for ``net``."""
+    degrees = [net.degree(v) for v in net.nodes()]
+    sizes = net.level_sizes()
+    return TopologyProfile(
+        name=net.name,
+        depth=net.depth,
+        num_nodes=net.num_nodes,
+        num_edges=net.num_edges,
+        level_sizes=sizes,
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=sum(degrees) / len(degrees),
+        max_out_degree=max(net.out_degree(v) for v in net.nodes()),
+        max_in_degree=max(net.in_degree(v) for v in net.nodes()),
+        is_regular_levels=len(set(sizes)) == 1,
+    )
+
+
+def max_forward_capacity(net: LeveledNetwork) -> int:
+    """Minimum over levels of the edge count between adjacent levels.
+
+    This is the bottleneck bandwidth of the network: no algorithm can move
+    more packets than this from one side of the bottleneck per step, a fact
+    the adversarial workloads exploit.
+    """
+    cut = [0] * net.depth
+    for e in net.edges():
+        cut[net.level(net.edge_src(e))] += 1
+    return min(cut) if cut else 0
+
+
+def bottleneck_level(net: LeveledNetwork) -> int:
+    """The level whose forward cut is smallest (ties to the lowest level)."""
+    cut = [0] * net.depth
+    for e in net.edges():
+        cut[net.level(net.edge_src(e))] += 1
+    return min(range(len(cut)), key=cut.__getitem__) if cut else 0

@@ -1,0 +1,110 @@
+"""Small canonical leveled networks: lines, trees, complete layered graphs.
+
+These are the workhorses of the test suite (tiny, hand-checkable) and of the
+congestion-stress experiments (``layered_complete`` lets congestion grow
+without changing the depth; ``line`` pins congestion to the packet count on
+a single path).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+def line(depth: int) -> LeveledNetwork:
+    """A path of ``depth + 1`` nodes, one per level."""
+    if depth < 1:
+        raise TopologyError(f"line depth must be >= 1, got {depth}")
+    builder = LeveledNetworkBuilder(name=f"line({depth})")
+    previous = builder.add_node(0, label=("ln", 0))
+    for level in range(1, depth + 1):
+        node = builder.add_node(level, label=("ln", level))
+        builder.add_edge(previous, node)
+        previous = node
+    return builder.build()
+
+
+def line_node(net: LeveledNetwork, level: int) -> NodeId:
+    """The unique node of a line network at ``level``."""
+    return net.node_by_label(("ln", level))
+
+
+def complete_binary_tree(height: int, root_at_top: bool = True) -> LeveledNetwork:
+    """A complete binary tree leveled by depth.
+
+    With ``root_at_top`` the root is level 0 and edges fan out toward the
+    leaves (a broadcast orientation); otherwise leaves are level 0 and edges
+    converge on the root (an aggregation orientation).
+    """
+    if height < 1:
+        raise TopologyError(f"tree height must be >= 1, got {height}")
+    builder = LeveledNetworkBuilder(
+        name=f"btree(h={height},{'down' if root_at_top else 'up'})"
+    )
+    for depth in range(height + 1):
+        level = depth if root_at_top else height - depth
+        for index in range(1 << depth):
+            builder.add_node(level, label=("bt", depth, index))
+    for depth in range(height):
+        for index in range(1 << depth):
+            parent = builder.node(("bt", depth, index))
+            for child_index in (2 * index, 2 * index + 1):
+                child = builder.node(("bt", depth + 1, child_index))
+                if root_at_top:
+                    builder.add_edge(parent, child)
+                else:
+                    builder.add_edge(child, parent)
+    return builder.build()
+
+
+def tree_node(net: LeveledNetwork, depth: int, index: int) -> NodeId:
+    """Node id of the tree node at ``(depth, index)``."""
+    return net.node_by_label(("bt", depth, index))
+
+
+def layered_complete(level_sizes: Sequence[int]) -> LeveledNetwork:
+    """Complete bipartite connections between every pair of adjacent levels.
+
+    ``layered_complete([1, k, 1])`` is the classic congestion gadget: all
+    packets squeeze through one source and one sink while the middle level
+    provides ``k`` parallel relays.
+    """
+    sizes = tuple(int(s) for s in level_sizes)
+    if len(sizes) < 2:
+        raise TopologyError("layered network needs at least two levels")
+    if any(s < 1 for s in sizes):
+        raise TopologyError(f"level sizes must be >= 1, got {sizes}")
+    builder = LeveledNetworkBuilder(
+        name="layered(" + "x".join(str(s) for s in sizes) + ")"
+    )
+    for level, size in enumerate(sizes):
+        for index in range(size):
+            builder.add_node(level, label=("ly", level, index))
+    for level in range(len(sizes) - 1):
+        for a in range(sizes[level]):
+            src = builder.node(("ly", level, a))
+            for b in range(sizes[level + 1]):
+                builder.add_edge(src, builder.node(("ly", level + 1, b)))
+    return builder.build()
+
+
+def layered_node(net: LeveledNetwork, level: int, index: int) -> NodeId:
+    """Node id of layered coordinate ``(level, index)``."""
+    return net.node_by_label(("ly", level, index))
+
+
+def diamond(width: int, depth: int) -> LeveledNetwork:
+    """``depth`` stacked complete layers of ``width`` nodes, single endpoints.
+
+    Level sizes are ``1, width, width, ..., width, 1``; a convenient shape
+    for dilation sweeps with bounded level width.
+    """
+    if width < 1 or depth < 2:
+        raise TopologyError(
+            f"diamond needs width >= 1 and depth >= 2, got {width}, {depth}"
+        )
+    return layered_complete([1] + [width] * (depth - 1) + [1])

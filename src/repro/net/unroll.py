@@ -1,0 +1,149 @@
+"""Leveling arbitrary DAGs (toward "arbitrary network topologies").
+
+The paper's algorithm needs a *leveled* network; its discussion asks about
+arbitrary topologies.  For any **DAG** there is a faithful reduction:
+
+1. assign each node the length of the longest path reaching it from a
+   source (its *layer* — guaranteeing every edge goes to a strictly higher
+   layer);
+2. subdivide every edge that spans more than one layer with pass-through
+   *relay* nodes, one per intermediate layer.
+
+The result is a leveled network whose monotone routes correspond exactly
+to the DAG's directed paths, with hop counts stretched by at most the
+layering gap — so congestion is preserved edge-for-edge and dilation grows
+to at most the DAG's depth.  Deflection routing on the leveled image then
+simulates deflection routing on the DAG (relays have degree 2 and simply
+forward).
+
+This is a *reduction*, not the follow-up work's universal-bufferless
+result: cyclic networks are out of scope (a DAG check raises).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from ..errors import TopologyError
+from ..types import NodeId
+from .leveled import LeveledNetwork, LeveledNetworkBuilder
+
+
+class UnrolledDag:
+    """A leveled image of a DAG, with the node correspondence.
+
+    Attributes
+    ----------
+    net:
+        The leveled network (original nodes + relay nodes).
+    node_of:
+        Maps an original DAG node to its id in ``net``.
+    is_relay:
+        Per-``net``-node flag: ``True`` for subdivision relays.
+    """
+
+    def __init__(
+        self,
+        net: LeveledNetwork,
+        node_of: Dict[Hashable, NodeId],
+        is_relay: List[bool],
+    ) -> None:
+        self.net = net
+        self.node_of = node_of
+        self.is_relay = is_relay
+
+    @property
+    def num_relays(self) -> int:
+        """Number of inserted pass-through nodes."""
+        return sum(1 for flag in self.is_relay if flag)
+
+    def original_nodes(self) -> List[NodeId]:
+        """Net ids of the DAG's own nodes."""
+        return [v for v in self.net.nodes() if not self.is_relay[v]]
+
+
+def longest_path_layers(
+    nodes: Sequence[Hashable], edges: Sequence[Tuple[Hashable, Hashable]]
+) -> Dict[Hashable, int]:
+    """Layer of each node = longest path from any source (Kahn order).
+
+    Raises :class:`~repro.errors.TopologyError` on cycles or unknown
+    endpoints.
+    """
+    node_set = set(nodes)
+    if len(node_set) != len(nodes):
+        raise TopologyError("duplicate nodes in DAG description")
+    succ: Dict[Hashable, List[Hashable]] = {u: [] for u in nodes}
+    indeg: Dict[Hashable, int] = {u: 0 for u in nodes}
+    for u, v in edges:
+        if u not in node_set or v not in node_set:
+            raise TopologyError(f"edge ({u!r}, {v!r}) has unknown endpoints")
+        if u == v:
+            raise TopologyError(f"self-loop at {u!r}")
+        succ[u].append(v)
+        indeg[v] += 1
+    layer = {u: 0 for u in nodes}
+    queue = [u for u in nodes if indeg[u] == 0]
+    seen = 0
+    while queue:
+        u = queue.pop()
+        seen += 1
+        for v in succ[u]:
+            layer[v] = max(layer[v], layer[u] + 1)
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if seen != len(nodes):
+        raise TopologyError("the edge set contains a cycle; not a DAG")
+    return layer
+
+
+def unroll_dag(
+    nodes: Sequence[Hashable],
+    edges: Sequence[Tuple[Hashable, Hashable]],
+    name: str = "unrolled",
+) -> UnrolledDag:
+    """Build the leveled image of a DAG (see module docstring)."""
+    layer = longest_path_layers(nodes, edges)
+    builder = LeveledNetworkBuilder(name=name)
+    node_of: Dict[Hashable, NodeId] = {}
+    relay_flags: List[bool] = []
+
+    def add(level: int, label, relay: bool) -> NodeId:
+        vid = builder.add_node(level, label=label)
+        # builder assigns dense ids in order, so the flag list aligns.
+        relay_flags.append(relay)
+        return vid
+
+    for u in nodes:
+        node_of[u] = add(layer[u], ("dag", u), relay=False)
+    for index, (u, v) in enumerate(edges):
+        gap = layer[v] - layer[u]
+        previous = node_of[u]
+        for k in range(1, gap):
+            relay = add(layer[u] + k, ("relay", index, k), relay=True)
+            builder.add_edge(previous, relay)
+            previous = relay
+        builder.add_edge(previous, node_of[v])
+    net = builder.build()
+    return UnrolledDag(net=net, node_of=node_of, is_relay=relay_flags)
+
+
+def random_dag(
+    num_nodes: int, edge_probability: float, seed=None
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """A random DAG on ``0..num_nodes-1`` (edges go low -> high index)."""
+    from ..rng import make_rng
+
+    if num_nodes < 2:
+        raise TopologyError(f"need >= 2 nodes, got {num_nodes}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TopologyError("edge probability outside [0, 1]")
+    rng = make_rng(seed)
+    nodes = list(range(num_nodes))
+    edges = []
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability:
+                edges.append((u, v))
+    return nodes, edges

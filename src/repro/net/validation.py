@@ -1,0 +1,106 @@
+"""Structural validation of leveled networks.
+
+:class:`repro.net.LeveledNetwork` already guarantees the leveled property at
+construction time; the checks here are the *audit* used by experiment E1
+(Figure 1): they re-derive the property from scratch and also report
+connectivity facts that the routing experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .leveled import LeveledNetwork
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_leveled`."""
+
+    ok: bool
+    depth: int
+    num_nodes: int
+    num_edges: int
+    problems: List[str] = field(default_factory=list)
+    #: nodes on levels < L with no outgoing edge (dead ends for forward routing)
+    dead_ends: List[int] = field(default_factory=list)
+    #: nodes on levels > 0 with no incoming edge (unreachable going forward)
+    orphans: List[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line status used by the E1 bench table."""
+        status = "OK" if self.ok else f"{len(self.problems)} problem(s)"
+        extras = []
+        if self.dead_ends:
+            extras.append(f"{len(self.dead_ends)} dead-end(s)")
+        if self.orphans:
+            extras.append(f"{len(self.orphans)} orphan(s)")
+        tail = f" [{', '.join(extras)}]" if extras else ""
+        return (
+            f"L={self.depth} |V|={self.num_nodes} |E|={self.num_edges}: "
+            f"{status}{tail}"
+        )
+
+
+def validate_leveled(net: LeveledNetwork) -> ValidationReport:
+    """Re-derive the leveled-network properties of Section 1.1 from scratch.
+
+    Checks: every node has exactly one level in ``0..L``; every level is
+    non-empty; every edge joins consecutive levels with the stored
+    orientation; adjacency lists agree with the edge table.  Also collects
+    dead ends and orphans (legal, but relevant to workload generators).
+    """
+    problems: List[str] = []
+    depth = net.depth
+
+    seen_level = [False] * (depth + 1)
+    for v in net.nodes():
+        level = net.level(v)
+        if not 0 <= level <= depth:
+            problems.append(f"node {v} has level {level} outside 0..{depth}")
+        else:
+            seen_level[level] = True
+    for level, seen in enumerate(seen_level):
+        if not seen:
+            problems.append(f"level {level} is empty")
+
+    for e in net.edges():
+        src, dst = net.edge_endpoints(e)
+        if net.level(dst) != net.level(src) + 1:
+            problems.append(
+                f"edge {e} joins levels {net.level(src)} and {net.level(dst)}"
+            )
+        if e not in net.out_edges(src):
+            problems.append(f"edge {e} missing from out_edges({src})")
+        if e not in net.in_edges(dst):
+            problems.append(f"edge {e} missing from in_edges({dst})")
+
+    for v in net.nodes():
+        for e in net.out_edges(v):
+            if net.edge_src(e) != v:
+                problems.append(f"out_edges({v}) lists edge {e} with src != {v}")
+        for e in net.in_edges(v):
+            if net.edge_dst(e) != v:
+                problems.append(f"in_edges({v}) lists edge {e} with dst != {v}")
+
+    dead_ends = [
+        v for v in net.nodes() if net.level(v) < depth and net.out_degree(v) == 0
+    ]
+    orphans = [v for v in net.nodes() if net.level(v) > 0 and net.in_degree(v) == 0]
+
+    return ValidationReport(
+        ok=not problems,
+        depth=depth,
+        num_nodes=net.num_nodes,
+        num_edges=net.num_edges,
+        problems=problems,
+        dead_ends=dead_ends,
+        orphans=orphans,
+    )
+
+
+def assert_valid(net: LeveledNetwork) -> None:
+    """Raise ``AssertionError`` with details if the audit finds any problem."""
+    report = validate_leveled(net)
+    assert report.ok, "; ".join(report.problems)

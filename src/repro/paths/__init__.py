@@ -1,0 +1,60 @@
+"""Preselected paths, routing problems, and congestion/dilation measures."""
+
+from .path import (
+    Path,
+    is_valid_edge_sequence,
+    random_monotone_path,
+    first_monotone_path,
+)
+from .problem import PacketSpec, RoutingProblem
+from .congestion import (
+    edge_congestion_counts,
+    max_edge_congestion,
+    dilation,
+    per_set_congestion,
+    congested_edges,
+    level_occupancy,
+    congestion_histogram,
+)
+from .select import (
+    select_paths_random,
+    select_paths_bottleneck,
+    min_bottleneck_path,
+    paths_through_edge,
+)
+from .mesh_paths import (
+    is_monotone_pair,
+    dimension_order_path,
+    select_paths_dimension_order,
+    monotone_classes,
+)
+from .butterfly_paths import bit_fixing_path, select_paths_bit_fixing
+from .valiant import valiant_path, select_paths_valiant
+
+__all__ = [
+    "Path",
+    "is_valid_edge_sequence",
+    "random_monotone_path",
+    "first_monotone_path",
+    "PacketSpec",
+    "RoutingProblem",
+    "edge_congestion_counts",
+    "max_edge_congestion",
+    "dilation",
+    "per_set_congestion",
+    "congested_edges",
+    "level_occupancy",
+    "congestion_histogram",
+    "select_paths_random",
+    "select_paths_bottleneck",
+    "min_bottleneck_path",
+    "paths_through_edge",
+    "is_monotone_pair",
+    "dimension_order_path",
+    "select_paths_dimension_order",
+    "monotone_classes",
+    "bit_fixing_path",
+    "select_paths_bit_fixing",
+    "valiant_path",
+    "select_paths_valiant",
+]

@@ -1,0 +1,103 @@
+"""Congestion and dilation measurement (the paper's Section 2.4).
+
+These helpers operate on *current* path collections during routing as well
+as preselected paths, because the paper tracks the time-indexed quantities
+``C^t`` (max edge congestion of current paths at step ``t``), ``D^t`` (max
+current path length), and the per-frontier-set congestion ``C_i^t`` — the
+invariant auditor calls into this module every step.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..net import LeveledNetwork
+from ..types import EdgeId
+
+
+def edge_congestion_counts(
+    edge_lists: Iterable[Sequence[EdgeId]], num_edges: int
+) -> List[int]:
+    """Per-edge multiplicity over a collection of edge lists.
+
+    Each list is one packet's (preselected or current) path; a packet
+    crossing an edge twice (possible transiently for a recycled oscillation
+    edge) counts twice, matching the paper's path-list semantics.
+    """
+    counts = [0] * num_edges
+    for edges in edge_lists:
+        for e in edges:
+            counts[e] += 1
+    return counts
+
+
+def max_edge_congestion(
+    edge_lists: Iterable[Sequence[EdgeId]], num_edges: int
+) -> int:
+    """The paper's ``C^t``: maximum per-edge multiplicity."""
+    counts = edge_congestion_counts(edge_lists, num_edges)
+    return max(counts) if counts else 0
+
+
+def dilation(edge_lists: Iterable[Sequence[EdgeId]]) -> int:
+    """The paper's ``D^t``: maximum path length."""
+    return max((len(edges) for edges in edge_lists), default=0)
+
+
+def per_set_congestion(
+    edge_lists: Sequence[Sequence[EdgeId]],
+    set_of: Sequence[int],
+    num_sets: int,
+    num_edges: int,
+) -> List[int]:
+    """The frontier-set congestions ``C_i`` (Section 2.4).
+
+    ``set_of[k]`` is the frontier-set index of packet ``k`` (aligned with
+    ``edge_lists``); the result is ``[C_0, ..., C_{num_sets-1}]``.
+    """
+    if len(set_of) != len(edge_lists):
+        raise ValueError(
+            f"{len(edge_lists)} paths but {len(set_of)} set assignments"
+        )
+    per_edge: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+    maxima = [0] * num_sets
+    for edges, set_index in zip(edge_lists, set_of):
+        bucket = per_edge[set_index]
+        for e in edges:
+            value = bucket.get(e, 0) + 1
+            bucket[e] = value
+            if value > maxima[set_index]:
+                maxima[set_index] = value
+    return maxima
+
+
+def congested_edges(
+    edge_lists: Iterable[Sequence[EdgeId]],
+    num_edges: int,
+    threshold: int,
+) -> List[Tuple[EdgeId, int]]:
+    """Edges whose multiplicity is at least ``threshold`` (edge, count)."""
+    counts = edge_congestion_counts(edge_lists, num_edges)
+    return [(e, c) for e, c in enumerate(counts) if c >= threshold]
+
+
+def level_occupancy(
+    net: LeveledNetwork, node_positions: Iterable[int]
+) -> List[int]:
+    """Number of packets per level, from a collection of current nodes.
+
+    Feeds the Figure 2 style occupancy timelines in :mod:`repro.viz`.
+    """
+    counts = [0] * net.num_levels
+    for node in node_positions:
+        counts[net.level(node)] += 1
+    return counts
+
+
+def congestion_histogram(
+    edge_lists: Iterable[Sequence[EdgeId]], num_edges: int
+) -> Counter:
+    """Histogram {multiplicity: #edges}; used by the T4 concentration bench."""
+    counts = edge_congestion_counts(edge_lists, num_edges)
+    return Counter(counts)

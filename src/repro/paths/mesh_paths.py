@@ -1,0 +1,112 @@
+"""Mesh path construction for the paper's Section 5 application.
+
+"In [16] the authors describe how to obtain optimal paths for the n x n mesh
+with congestion and dilation n, and our algorithm can be used to route these
+packets with time close to the optimal up to polylogarithmic factors."
+
+We substitute dimension-order (row-then-column) monotone paths: for a
+monotone problem on an ``n x n`` mesh they give dilation ``D <= 2(n-1)`` and
+congestion ``C <= n`` per class of packets turning at a column (each column
+edge carries at most the ``n`` packets of its column's row band), i.e. both
+``O(n)`` — exactly the property Section 5 needs (see DESIGN.md, Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import PathError
+from ..net import LeveledNetwork, mesh_coords, mesh_node
+from ..types import NodeId
+from .path import Path
+from .problem import PacketSpec, RoutingProblem
+
+
+def is_monotone_pair(
+    net: LeveledNetwork, source: NodeId, destination: NodeId
+) -> bool:
+    """Whether destination is weakly down-right of source (NW orientation)."""
+    si, sj = mesh_coords(net, source)
+    di, dj = mesh_coords(net, destination)
+    return di >= si and dj >= sj
+
+
+def dimension_order_path(
+    net: LeveledNetwork,
+    source: NodeId,
+    destination: NodeId,
+    row_first: bool = True,
+) -> Path:
+    """Row-then-column (or column-then-row) monotone path on a NW mesh.
+
+    Raises :class:`~repro.errors.PathError` for non-monotone pairs; general
+    mesh problems must first be decomposed into the four monotone classes
+    (see ``examples/mesh_routing.py``).
+    """
+    si, sj = mesh_coords(net, source)
+    di, dj = mesh_coords(net, destination)
+    if di < si or dj < sj:
+        raise PathError(
+            f"({si},{sj}) -> ({di},{dj}) is not monotone for this orientation"
+        )
+    edges = []
+    i, j = si, sj
+    if row_first:
+        while j < dj:
+            edges.append(net.find_edge(mesh_node(net, i, j), mesh_node(net, i, j + 1)))
+            j += 1
+        while i < di:
+            edges.append(net.find_edge(mesh_node(net, i, j), mesh_node(net, i + 1, j)))
+            i += 1
+    else:
+        while i < di:
+            edges.append(net.find_edge(mesh_node(net, i, j), mesh_node(net, i + 1, j)))
+            i += 1
+        while j < dj:
+            edges.append(net.find_edge(mesh_node(net, i, j), mesh_node(net, i, j + 1)))
+            j += 1
+    return Path(net, edges, source=source)
+
+
+def select_paths_dimension_order(
+    net: LeveledNetwork,
+    endpoints: Sequence[Tuple[NodeId, NodeId]],
+    row_first: bool = True,
+) -> RoutingProblem:
+    """Dimension-order paths for a monotone mesh problem.
+
+    For a (partial) permutation this yields ``C <= 2n`` and ``D <= 2(n-1)``
+    on an ``n x n`` mesh — the ``O(n)`` path family of Section 5.
+    """
+    specs = [
+        PacketSpec(k, src, dst, dimension_order_path(net, src, dst, row_first))
+        for k, (src, dst) in enumerate(endpoints)
+    ]
+    return RoutingProblem(net, specs)
+
+
+def monotone_classes(
+    net: LeveledNetwork, endpoints: Sequence[Tuple[NodeId, NodeId]]
+) -> List[List[Tuple[NodeId, NodeId]]]:
+    """Split arbitrary mesh endpoint pairs into the 4 monotone classes.
+
+    Class order: (down-right, down-left, up-right, up-left) relative to grid
+    coordinates.  Each class is monotone for one of the paper's four corner
+    orientations of the mesh; pairs on a shared row/column go to the first
+    class that fits.
+    """
+    classes: List[List[Tuple[NodeId, NodeId]]] = [[], [], [], []]
+    for src, dst in endpoints:
+        si, sj = mesh_coords(net, src)
+        di, dj = mesh_coords(net, dst)
+        down = di >= si
+        right = dj >= sj
+        if down and right:
+            classes[0].append((src, dst))
+        elif down:
+            classes[1].append((src, dst))
+        elif right:
+            classes[2].append((src, dst))
+        else:
+            classes[3].append((src, dst))
+    return classes

@@ -1,0 +1,410 @@
+"""The synchronous bufferless routing engine.
+
+Implements the machine model of the paper's Section 1.1: synchronous nodes;
+at each time step a node receives packets, makes a routing decision, and
+forwards every resident packet on some incident link; at most one packet per
+link *per direction* per step (footnote 1).  The engine is algorithm-
+agnostic — a :class:`~repro.sim.router.Router` supplies desires, priorities
+and state transitions — and enforces the mechanics that every hot-potato
+algorithm shares:
+
+* **Arbitration.**  Packets contending for the same directed edge slot are
+  ranked by router priority; ties break uniformly at random.  Exactly one
+  wins; active losers are *deflected*, pending (uninjected) losers stay put.
+* **Deflection matching.**  Losers at a node are matched injectively to free
+  slots, preferring *safe backward* slots — in-edges that some packet
+  traversed forward (by a genuine path-following move) in the previous step,
+  exactly Lemma 2.1's edge set ``E'``.  Falling back to an unsafe slot is
+  possible for arbitrary routers and is recorded; the paper's algorithm
+  never needs it (Lemma 2.1), which invariant ``I_b`` audits.
+* **Bookkeeping.**  Forward path moves pop the path head; deflections and
+  backward oscillation prepend the traversed edge (Section 2.3).  A packet
+  is absorbed the moment it reaches its destination.
+* **Quiescence fast-forward.**  When the router certifies that every active
+  packet is deterministically oscillating (all in wait state, no pending
+  injections) up to some horizon, the engine advances positions analytically
+  instead of stepping; see DESIGN.md Section 4.7.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from ..errors import CapacityError, SimulationError
+from ..net import LeveledNetwork
+from ..paths import RoutingProblem
+from ..rng import RngLike, make_rng
+from ..types import Direction, EdgeId, MoveKind, NodeId, PacketId
+from .events import EventKind, TraceEvent
+from .metrics import RunResult
+from .packet import Packet, PacketStatus
+from .router import DesiredMove, Router
+
+#: A directed edge slot: ``(edge, traversal direction)``.
+Slot = Tuple[EdgeId, Direction]
+
+Observer = Callable[[TraceEvent], None]
+
+
+class Engine:
+    """Synchronous simulator for one routing problem and one router."""
+
+    def __init__(
+        self,
+        problem: RoutingProblem,
+        router: Router,
+        seed: RngLike = None,
+        observers: Sequence[Observer] = (),
+        enable_fast_forward: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.net: LeveledNetwork = problem.net
+        self.router = router
+        self.rng = make_rng(seed)
+        self.packets: List[Packet] = [Packet(spec) for spec in problem]
+        self.t = 0
+        self.steps_executed = 0
+        self.steps_skipped = 0
+        self.num_absorbed = 0
+        self.num_active = 0
+        #: active packet ids in injection order (dict for deterministic
+        #: iteration; values unused) — avoids scanning all packets per step
+        self.active_ids: Dict[PacketId, None] = {}
+        #: pending packets currently allowed to attempt injection
+        self.eligible: Set[PacketId] = set()
+        #: in-edges traversed forward by a path-following move last step,
+        #: keyed by the node they arrived at (Lemma 2.1's ``E'`` per node)
+        self.safe_in: Dict[NodeId, Set[EdgeId]] = {}
+        self._observers: List[Observer] = list(observers)
+        self._enable_fast_forward = enable_fast_forward
+        self.unsafe_deflections = 0
+        #: called as ``hook(engine, t)`` after each executed step (auditors)
+        self.post_step_hooks: List[Callable[["Engine", int], None]] = []
+        router.attach(self)
+
+    # ---------------------------------------------------------------- events
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register an event observer (tracer, auditor, ...)."""
+        self._observers.append(observer)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver an event to all observers."""
+        for observer in self._observers:
+            observer(event)
+
+    @property
+    def tracing(self) -> bool:
+        """Whether any observer is attached (guards event construction)."""
+        return bool(self._observers)
+
+    # ------------------------------------------------------------- injection
+
+    def mark_eligible(self, packet_id: PacketId) -> None:
+        """Allow a pending packet to attempt injection from this step on."""
+        packet = self.packets[packet_id]
+        if packet.is_pending:
+            self.eligible.add(packet_id)
+
+    def mark_all_eligible(self) -> None:
+        """Convenience for routers that inject everything immediately."""
+        for packet in self.packets:
+            if packet.is_pending:
+                self.eligible.add(packet.packet_id)
+
+    # ------------------------------------------------------------------ step
+
+    def step(self) -> None:
+        """Execute one synchronous time step."""
+        t = self.t
+        router = self.router
+        net = self.net
+        tracing = self.tracing
+
+        router.pre_step(t)
+
+        # -- gather participants and their desires ------------------------
+        desires: Dict[PacketId, DesiredMove] = {}
+        occupants: Dict[NodeId, int] = defaultdict(int)
+        for pid in self.active_ids:
+            occupants[self.packets[pid].node] += 1
+        participants: List[PacketId] = list(self.active_ids)
+        participants.extend(sorted(self.eligible))
+        for pid in participants:
+            desire = router.desired_move(pid, t)
+            packet = self.packets[pid]
+            src, dst = net.edge_endpoints(desire.edge)
+            if packet.node != src and packet.node != dst:
+                raise SimulationError(
+                    f"router desired edge {desire.edge} not incident to "
+                    f"packet {pid} at node {packet.node}"
+                )
+            desires[pid] = desire
+
+        # -- arbitration per directed slot ---------------------------------
+        contenders: Dict[Slot, List[PacketId]] = defaultdict(list)
+        for pid, desire in desires.items():
+            packet = self.packets[pid]
+            direction = net.traversal_direction(desire.edge, packet.node)
+            contenders[(desire.edge, direction)].append(pid)
+
+        used_slots: Set[Slot] = set()
+        granted: Dict[PacketId, Tuple[EdgeId, MoveKind]] = {}
+        losers_by_node: Dict[NodeId, List[PacketId]] = defaultdict(list)
+        #: slots granted to not-yet-injected packets, revocable per node:
+        #: active packets MUST move (hot potato), pending ones can wait
+        pending_grants: Dict[NodeId, List[Tuple[PacketId, Slot]]] = defaultdict(
+            list
+        )
+        for slot, pids in contenders.items():
+            if len(pids) == 1:
+                winner = pids[0]
+            else:
+                # Active packets outrank pending ones unconditionally; the
+                # router's priority breaks ties within each class.  The
+                # priority hook is consulted exactly once per contender
+                # (it may be stateful or randomized).
+                ranked = [
+                    (
+                        (
+                            1 if self.packets[pid].is_active else 0,
+                            router.priority(pid, t),
+                        ),
+                        pid,
+                    )
+                    for pid in pids
+                ]
+                top = max(rank for rank, _ in ranked)
+                best = [pid for rank, pid in ranked if rank == top]
+                winner = (
+                    best[int(self.rng.integers(0, len(best)))]
+                    if len(best) > 1
+                    else best[0]
+                )
+            used_slots.add(slot)
+            granted[winner] = (slot[0], desires[winner].kind)
+            if self.packets[winner].is_pending:
+                pending_grants[self.packets[winner].node].append((winner, slot))
+            for pid in pids:
+                if pid == winner:
+                    continue
+                packet = self.packets[pid]
+                if packet.is_active:
+                    losers_by_node[packet.node].append(pid)
+                # Pending losers simply fail to inject this step.
+
+        # -- deflection slot matching --------------------------------------
+        deflected: List[Tuple[PacketId, EdgeId, bool]] = []
+        for node, losers in losers_by_node.items():
+            if len(losers) > 1:
+                self.rng.shuffle(losers)
+            safe_here = self.safe_in.get(node, ())
+            # Safe backward slots first (Lemma 2.1), then unsafe backward,
+            # then forward, mirroring the paper's backward-deflection rule.
+            candidates: List[Tuple[EdgeId, bool]] = []
+            for e in net.in_edges(node):
+                if e in safe_here and (e, Direction.BACKWARD) not in used_slots:
+                    candidates.append((e, True))
+            for e in net.in_edges(node):
+                if e not in safe_here and (e, Direction.BACKWARD) not in used_slots:
+                    candidates.append((e, False))
+            for e in net.out_edges(node):
+                if (e, Direction.FORWARD) not in used_slots:
+                    candidates.append((e, False))
+            while len(candidates) < len(losers) and pending_grants[node]:
+                # Deflected residents must move; revoke an injection grant
+                # at this node and recycle its slot ("a packet is injected
+                # at any subsequent step in which there is an available
+                # link").
+                revoked, slot = pending_grants[node].pop()
+                del granted[revoked]
+                used_slots.discard(slot)
+                candidates.append((slot[0], False))
+            if len(candidates) < len(losers):
+                raise CapacityError(
+                    f"step {t}: node {node} has {len(losers)} deflected "
+                    f"packets but only {len(candidates)} free slots"
+                )
+            for pid, (edge, safe) in zip(losers, candidates):
+                direction = net.traversal_direction(edge, node)
+                used_slots.add((edge, direction))
+                deflected.append((pid, edge, safe))
+
+        # -- apply winner moves ---------------------------------------------
+        injecting_at: Dict[NodeId, int] = defaultdict(int)
+        for pid in granted:
+            if self.packets[pid].is_pending:
+                injecting_at[self.packets[pid].node] += 1
+        for pid, (edge, kind) in granted.items():
+            packet = self.packets[pid]
+            isolated = True
+            if packet.is_pending:
+                isolated = (
+                    occupants[packet.node] == 0
+                    and injecting_at[packet.node] == 1
+                )
+                packet.status = PacketStatus.ACTIVE
+                packet.injected_at = t
+                self.eligible.discard(pid)
+                self.num_active += 1
+                self.active_ids[pid] = None
+                if tracing:
+                    self.emit(
+                        TraceEvent(
+                            t,
+                            EventKind.INJECT,
+                            packet=pid,
+                            node=packet.node,
+                            detail="isolated" if isolated else "crowded",
+                        )
+                    )
+                router.on_injected(pid, t, isolated)
+            self._apply_move(packet, edge, kind)
+            if tracing:
+                self.emit(
+                    TraceEvent(
+                        t,
+                        EventKind.MOVE,
+                        packet=pid,
+                        node=packet.node,
+                        edge=edge,
+                        direction=packet.last_direction,
+                    )
+                )
+            if router.is_delivered(pid):
+                self._absorb(packet, t)
+            else:
+                router.on_moved(pid, t, edge)
+
+        # -- apply deflections ----------------------------------------------
+        deflection_kind = getattr(router, "deflection_kind", MoveKind.REVERSE)
+        for pid, edge, safe in deflected:
+            packet = self.packets[pid]
+            self._apply_move(packet, edge, deflection_kind)
+            packet.deflections += 1
+            if not safe:
+                packet.unsafe_deflections += 1
+                self.unsafe_deflections += 1
+            if tracing:
+                self.emit(
+                    TraceEvent(
+                        t,
+                        EventKind.DEFLECT
+                        if safe
+                        else EventKind.UNSAFE_DEFLECT,
+                        packet=pid,
+                        node=packet.node,
+                        edge=edge,
+                        direction=packet.last_direction,
+                    )
+                )
+            if router.is_delivered(pid):
+                # Possible for path-less routers deflected into their
+                # destination; path routers never deliver by deflection.
+                self._absorb(packet, t)
+            else:
+                router.on_deflected(pid, t, edge, safe)
+
+        # -- safety bookkeeping for the next step ---------------------------
+        safe_next: Dict[NodeId, Set[EdgeId]] = defaultdict(set)
+        for pid, (edge, kind) in granted.items():
+            packet = self.packets[pid]
+            if (
+                packet.last_direction is Direction.FORWARD
+                and kind is not MoveKind.REVERSE
+            ):
+                safe_next[packet.node].add(edge)
+        self.safe_in = dict(safe_next)
+
+        router.post_step(t)
+        for hook in self.post_step_hooks:
+            hook(self, t)
+        self.t = t + 1
+        self.steps_executed += 1
+
+    def _apply_move(self, packet: Packet, edge: EdgeId, kind: MoveKind) -> None:
+        if kind is MoveKind.FOLLOW:
+            packet.apply_follow(self.net, edge)
+        elif kind is MoveKind.REVERSE:
+            packet.apply_reverse(self.net, edge)
+        else:
+            packet.apply_free(self.net, edge)
+
+    def _absorb(self, packet: Packet, t: int) -> None:
+        packet.status = PacketStatus.ABSORBED
+        packet.absorbed_at = t + 1
+        self.num_active -= 1
+        self.num_absorbed += 1
+        del self.active_ids[packet.packet_id]
+        if self.tracing:
+            self.emit(
+                TraceEvent(
+                    t, EventKind.ABSORB, packet=packet.packet_id, node=packet.node
+                )
+            )
+
+    # ---------------------------------------------------------- fast-forward
+
+    def _try_fast_forward(self) -> None:
+        """Skip to one step before the router's quiescent horizon."""
+        horizon = self.router.quiescent_horizon(self.t)
+        if horizon is None:
+            return
+        target = horizon - 1  # simulate the boundary step normally
+        k = target - self.t
+        if k <= 0:
+            return
+        safe_in = self.router.fast_forward(self.t, target)
+        self.safe_in = safe_in
+        if self.tracing:
+            self.emit(
+                TraceEvent(
+                    self.t,
+                    EventKind.FAST_FORWARD,
+                    detail=f"skipped {k} steps to {target}",
+                )
+            )
+        self.t = target
+        self.steps_skipped += k
+
+    # ------------------------------------------------------------------- run
+
+    @property
+    def done(self) -> bool:
+        """All packets absorbed."""
+        return self.num_absorbed == len(self.packets)
+
+    def run(self, max_steps: int) -> RunResult:
+        """Run until delivery or the step budget; return metrics."""
+        while not self.done and self.t < max_steps:
+            if self._enable_fast_forward:
+                self._try_fast_forward()
+            self.step()
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Snapshot the metrics of the run so far."""
+        return RunResult(
+            router_name=type(self.router).__name__,
+            network_name=self.net.name,
+            num_packets=len(self.packets),
+            congestion=self.problem.congestion,
+            dilation=self.problem.dilation,
+            depth=self.net.depth,
+            delivered=self.num_absorbed,
+            makespan=max(
+                (p.absorbed_at for p in self.packets if p.absorbed_at is not None),
+                default=self.t,
+            )
+            if self.done
+            else self.t,
+            steps_executed=self.steps_executed,
+            steps_skipped=self.steps_skipped,
+            delivery_times=[p.absorbed_at for p in self.packets],
+            deflections_per_packet=[p.deflections for p in self.packets],
+            unsafe_deflections=self.unsafe_deflections,
+            total_moves=sum(p.moves for p in self.packets),
+            total_backward_moves=sum(p.backward_moves for p in self.packets),
+            extra=dict(getattr(self.router, "extra_metrics", lambda: {})()),
+        )

@@ -1,0 +1,88 @@
+"""Structured trace events emitted by the engine and routers.
+
+Observers (tracers, invariant auditors, visualizers) register with the
+engine and receive every event; when no observer is attached the engine
+skips event construction entirely, so tracing costs nothing when off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import Direction, EdgeId, NodeId, PacketId
+
+
+class EventKind(enum.Enum):
+    """What happened."""
+
+    INJECT = "inject"
+    MOVE = "move"
+    DEFLECT = "deflect"
+    UNSAFE_DEFLECT = "unsafe_deflect"
+    ABSORB = "absorb"
+    STATE = "state"
+    ROUND_START = "round_start"
+    PHASE_START = "phase_start"
+    FAST_FORWARD = "fast_forward"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulation event.
+
+    ``time`` is the step during which the event happened; moves recorded at
+    step ``t`` place the packet at its new node from step ``t + 1`` on.
+    """
+
+    time: int
+    kind: EventKind
+    packet: Optional[PacketId] = None
+    node: Optional[NodeId] = None
+    edge: Optional[EdgeId] = None
+    direction: Optional[Direction] = None
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"t={self.time}", self.kind.value]
+        if self.packet is not None:
+            parts.append(f"pkt={self.packet}")
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.edge is not None:
+            parts.append(f"edge={self.edge}")
+        if self.direction is not None:
+            parts.append(self.direction.name.lower())
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+class TraceRecorder:
+    """The simplest observer: append every event to a list.
+
+    Suitable for small audited runs; long sweeps should use targeted
+    observers (e.g. counters) instead of keeping full traces.
+    """
+
+    def __init__(self, keep: Optional[set[EventKind]] = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.keep = keep
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Observer hook."""
+        if self.keep is None or event.kind in self.keep:
+            self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All recorded events of one kind."""
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

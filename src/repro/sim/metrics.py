@@ -1,0 +1,75 @@
+"""Run metrics collected by the engine.
+
+A :class:`RunResult` captures everything the experiment harness reports:
+makespan, per-packet delivery times, deflection statistics, and the
+problem's congestion/dilation so tables can show ratios to the ``C + D``
+lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated routing run."""
+
+    router_name: str
+    network_name: str
+    num_packets: int
+    congestion: int
+    dilation: int
+    depth: int
+    delivered: int
+    #: total simulated time steps (including fast-forwarded ones)
+    makespan: int
+    #: steps actually executed by the inner loop
+    steps_executed: int
+    #: steps skipped by quiescence fast-forward
+    steps_skipped: int
+    delivery_times: List[Optional[int]]
+    deflections_per_packet: List[int]
+    unsafe_deflections: int
+    total_moves: int
+    total_backward_moves: int
+    #: router-specific extras (phase counts, state statistics, ...)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_delivered(self) -> bool:
+        """Whether every packet reached its destination."""
+        return self.delivered == self.num_packets
+
+    @property
+    def lower_bound(self) -> int:
+        """The trivial bound ``max(C, D)``."""
+        return max(self.congestion, self.dilation)
+
+    @property
+    def slowdown(self) -> float:
+        """Makespan divided by ``max(C, D)`` (the natural figure of merit)."""
+        return self.makespan / max(1, self.lower_bound)
+
+    @property
+    def total_deflections(self) -> int:
+        """Sum of per-packet deflection counts."""
+        return sum(self.deflections_per_packet)
+
+    @property
+    def mean_delivery_time(self) -> float:
+        """Average delivery time of the delivered packets."""
+        times = [t for t in self.delivery_times if t is not None]
+        return sum(times) / len(times) if times else float("nan")
+
+    def summary(self) -> str:
+        """One-line report row."""
+        status = "ok" if self.all_delivered else (
+            f"{self.num_packets - self.delivered} undelivered"
+        )
+        return (
+            f"{self.router_name} on {self.network_name}: N={self.num_packets} "
+            f"C={self.congestion} D={self.dilation} -> T={self.makespan} "
+            f"({self.slowdown:.2f}x bound, {self.total_deflections} defl, {status})"
+        )

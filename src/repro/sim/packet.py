@@ -1,0 +1,158 @@
+"""Runtime packet records.
+
+A :class:`Packet` is the mutable simulation twin of a
+:class:`repro.paths.PacketSpec`: it carries the *current path* of Section
+2.3 (a deque of edge ids from the current node to the destination), the
+paper's pop/prepend bookkeeping, and per-packet statistics.  Algorithm-
+specific state (normal/excited/wait) lives in the router, not here, so the
+same engine serves every routing algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import SimulationError
+from ..net import LeveledNetwork
+from ..paths import PacketSpec
+from ..types import Direction, EdgeId, NodeId, PacketId
+
+
+class PacketStatus(enum.IntEnum):
+    """Lifecycle of a packet.
+
+    ``PENDING``
+        Waiting at its source, not yet injected ("Initially, a packet waits
+        in the source node until it is injected into the network").
+    ``ACTIVE``
+        In the network, moving every step (hot potato).
+    ``ABSORBED``
+        Delivered and removed.
+    """
+
+    PENDING = 0
+    ACTIVE = 1
+    ABSORBED = 2
+
+
+class Packet:
+    """Mutable runtime state of one packet."""
+
+    __slots__ = (
+        "packet_id",
+        "source",
+        "destination",
+        "node",
+        "path",
+        "status",
+        "injected_at",
+        "absorbed_at",
+        "last_edge",
+        "last_direction",
+        "moves",
+        "deflections",
+        "unsafe_deflections",
+        "backward_moves",
+    )
+
+    def __init__(self, spec: PacketSpec) -> None:
+        self.packet_id: PacketId = spec.packet_id
+        self.source: NodeId = spec.source
+        self.destination: NodeId = spec.destination
+        self.node: NodeId = spec.source
+        self.path: Deque[EdgeId] = deque(spec.path.edges)
+        self.status = PacketStatus.PENDING
+        self.injected_at: Optional[int] = None
+        self.absorbed_at: Optional[int] = None
+        #: edge traversed in the packet's most recent move, if any
+        self.last_edge: Optional[EdgeId] = None
+        self.last_direction: Optional[Direction] = None
+        self.moves = 0
+        self.deflections = 0
+        self.unsafe_deflections = 0
+        self.backward_moves = 0
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the packet is currently in the network."""
+        return self.status is PacketStatus.ACTIVE
+
+    @property
+    def is_pending(self) -> bool:
+        """Whether the packet still waits at its source."""
+        return self.status is PacketStatus.PENDING
+
+    @property
+    def is_absorbed(self) -> bool:
+        """Whether the packet has been delivered."""
+        return self.status is PacketStatus.ABSORBED
+
+    def head_edge(self) -> EdgeId:
+        """First edge of the current path."""
+        if not self.path:
+            raise SimulationError(
+                f"packet {self.packet_id} has an empty current path at node "
+                f"{self.node}"
+            )
+        return self.path[0]
+
+    def current_path_edges(self) -> Tuple[EdgeId, ...]:
+        """Snapshot of the current path (for congestion accounting)."""
+        return tuple(self.path)
+
+    def delivery_time(self) -> Optional[int]:
+        """Absorption time, or ``None`` while in flight."""
+        return self.absorbed_at
+
+    # ------------------------------------------------------------ transitions
+
+    def apply_follow(self, net: LeveledNetwork, edge: EdgeId) -> None:
+        """Traverse the path head (Section 2.3 forward bookkeeping)."""
+        head = self.head_edge()
+        if head != edge:
+            raise SimulationError(
+                f"packet {self.packet_id}: FOLLOW move on edge {edge} but "
+                f"path head is {head}"
+            )
+        self.path.popleft()
+        self._traverse(net, edge)
+
+    def apply_reverse(self, net: LeveledNetwork, edge: EdgeId) -> None:
+        """Traverse ``edge`` and prepend it (deflection / oscillation rule).
+
+        "When packet π is deflected at time t and sent on edge e, we update
+        the current path of packet π so that at time t+1 the first link is e
+        and the rest is g."
+        """
+        self.path.appendleft(edge)
+        self._traverse(net, edge)
+
+    def apply_free(self, net: LeveledNetwork, edge: EdgeId) -> None:
+        """Traverse ``edge`` without path bookkeeping (path-less baselines)."""
+        self._traverse(net, edge)
+
+    def _traverse(self, net: LeveledNetwork, edge: EdgeId) -> None:
+        direction = net.traversal_direction(edge, self.node)
+        self.node = net.other_endpoint(edge, self.node)
+        self.last_edge = edge
+        self.last_direction = direction
+        self.moves += 1
+        if direction is Direction.BACKWARD:
+            self.backward_moves += 1
+
+    def toggle_across(self, net: LeveledNetwork, edge: EdgeId) -> None:
+        """One oscillation half-step used by the quiescence fast-forward.
+
+        Equivalent to :meth:`apply_reverse` when leaving the wait node and
+        :meth:`apply_follow` when returning, but callable without knowing
+        which half we are in: it inspects the path head.
+        """
+        if self.path and self.path[0] == edge and net.edge_dst(edge) != self.node:
+            # At the far end with the edge prepended: consume it (forward).
+            self.apply_follow(net, edge)
+        else:
+            self.apply_reverse(net, edge)

@@ -1,0 +1,103 @@
+"""The router protocol: algorithm-specific behavior plugged into the engine.
+
+The engine owns the mechanics every hot-potato algorithm shares — slot
+capacities, conflict arbitration, deflection slot matching, path
+bookkeeping, absorption — while a :class:`Router` supplies the policy: when
+packets are injected, which move each packet wants, packet priorities, and
+state transitions on moves/deflections/step boundaries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..types import EdgeId, MoveKind, PacketId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+
+@dataclass(frozen=True)
+class DesiredMove:
+    """A packet's requested move for the current step.
+
+    ``edge`` must be incident to the packet's current node; the traversal
+    direction is implied by which endpoint the packet is at.  ``kind``
+    selects the bookkeeping applied if the move is granted
+    (:class:`~repro.types.MoveKind`).
+    """
+
+    edge: EdgeId
+    kind: MoveKind
+
+
+class Router(abc.ABC):
+    """Base class for routing policies."""
+
+    #: Engine backreference, set by :meth:`attach`.
+    engine: "Engine"
+
+    def attach(self, engine: "Engine") -> None:
+        """Called once by the engine before the first step."""
+        self.engine = engine
+
+    # ------------------------------------------------------------ lifecycle
+
+    def pre_step(self, t: int) -> None:
+        """Start-of-step hook: injections become eligible, coins are flipped."""
+
+    def post_step(self, t: int) -> None:
+        """End-of-step hook: round/phase boundary state transitions."""
+
+    # --------------------------------------------------------------- policy
+
+    @abc.abstractmethod
+    def desired_move(self, packet_id: PacketId, t: int) -> DesiredMove:
+        """The move the packet wants this step (it may be denied)."""
+
+    def priority(self, packet_id: PacketId, t: int) -> int:
+        """Conflict priority; higher wins.  Default: all equal."""
+        return 0
+
+    def is_delivered(self, packet_id: PacketId) -> bool:
+        """Whether the packet should be absorbed at its current node.
+
+        Default: the current path is exhausted (path-following routers).
+        Path-less routers override to ``node == destination``.
+        """
+        packet = self.engine.packets[packet_id]
+        return not packet.path and packet.node == packet.destination
+
+    # ------------------------------------------------------------ callbacks
+
+    def on_injected(self, packet_id: PacketId, t: int, in_isolation: bool) -> None:
+        """The packet entered the network this step."""
+
+    def on_moved(self, packet_id: PacketId, t: int, edge: EdgeId) -> None:
+        """The packet's *desired* move was granted."""
+
+    def on_deflected(
+        self, packet_id: PacketId, t: int, edge: EdgeId, safe: bool
+    ) -> None:
+        """The packet lost its conflict and was sent on ``edge`` instead."""
+
+    # --------------------------------------------------------- fast-forward
+
+    def quiescent_horizon(self, t: int) -> Optional[int]:
+        """If the steps ``t .. horizon-1`` are deterministic oscillation,
+        return ``horizon``; otherwise ``None``.
+
+        Routers without a wait concept simply return ``None`` (the default),
+        disabling fast-forward.
+        """
+        return None
+
+    def fast_forward(self, t_from: int, t_to: int) -> None:
+        """Apply boundary bookkeeping for a skipped interval.
+
+        Only called with an interval previously approved by
+        :meth:`quiescent_horizon`.
+        """
+        raise NotImplementedError

@@ -1,0 +1,65 @@
+"""Shared primitive types used across the package.
+
+Nodes and edges are plain integers (dense ids assigned by the network
+builder); this keeps the synchronous simulator's inner loops allocation-free
+and lets analysis code index numpy arrays directly by id.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Tuple
+
+#: Dense id of a node inside a :class:`repro.net.LeveledNetwork`.
+NodeId = int
+
+#: Dense id of an (undirected, but oriented low-level -> high-level) edge.
+EdgeId = int
+
+#: Id of a packet inside a routing problem (index into the packet list).
+PacketId = int
+
+#: Optional human-readable node label (grid coordinate, butterfly row, ...).
+NodeLabel = Hashable
+
+#: An edge as an endpoint pair ``(src, dst)`` with ``level(dst) == level(src)+1``.
+EdgeEndpoints = Tuple[NodeId, NodeId]
+
+
+class Direction(enum.IntEnum):
+    """Traversal direction of an edge.
+
+    Every edge of a leveled network is *oriented* from its lower level to its
+    higher level (the paper's Section 2.2), but during hot-potato routing the
+    edges are used in both directions (the paper explicitly avoids the term
+    "directed edge" for this reason).  ``FORWARD`` follows the orientation
+    (toward higher levels); ``BACKWARD`` opposes it.
+    """
+
+    FORWARD = 0
+    BACKWARD = 1
+
+    @property
+    def opposite(self) -> "Direction":
+        """The reverse direction."""
+        return Direction.BACKWARD if self is Direction.FORWARD else Direction.FORWARD
+
+
+class MoveKind(enum.IntEnum):
+    """How a granted move updates the moving packet's bookkeeping.
+
+    ``FOLLOW``
+        Traverse the head edge of the packet's current path and pop it; this
+        is the normal path-following step of Section 2.3.
+    ``REVERSE``
+        Traverse an arbitrary incident edge and *prepend* it to the current
+        path; deflections and the backward half of wait-state oscillation
+        both use this rule (the paper's path-update rule on deflection).
+    ``FREE``
+        Traverse an incident edge without touching any path bookkeeping;
+        used by path-less baselines such as greedy hot-potato routing.
+    """
+
+    FOLLOW = 0
+    REVERSE = 1
+    FREE = 2

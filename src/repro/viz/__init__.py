@@ -1,0 +1,12 @@
+"""Text-mode visualization of frames and packet occupancy."""
+
+from .ascii_frames import frame_snapshot, frame_film_strip, target_schedule_strip
+from .occupancy import OccupancySampler, occupancy_strip
+
+__all__ = [
+    "frame_snapshot",
+    "frame_film_strip",
+    "target_schedule_strip",
+    "OccupancySampler",
+    "occupancy_strip",
+]

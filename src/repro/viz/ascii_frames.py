@@ -1,0 +1,98 @@
+"""ASCII rendering of frontier-frame geometry (the paper's Figure 2).
+
+Figure 2 shows a leveled network with the frontier-frames ``F_i`` marked as
+bands of ``m`` consecutive levels, pipelined ``m`` levels apart.  The
+renderers here draw the same picture for a given parameterization, either
+as a single-phase snapshot or as a phase-by-phase film strip — experiment
+E2's artifact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.schedule import FrameGeometry
+
+
+def frame_snapshot(
+    geometry: FrameGeometry, phase: int, width: int = 3
+) -> str:
+    """One line per level: which frame (if any) covers it at ``phase``.
+
+    Levels are printed left-to-right, 0..L; the cell shows the frame index
+    and the inner level as ``i:k``.
+    """
+    depth = geometry.depth
+    cells: List[str] = []
+    for level in range(depth + 1):
+        owner: Optional[str] = None
+        for set_index in range(geometry.params.num_sets):
+            if geometry.in_frame(set_index, phase, level):
+                inner = geometry.inner_level(set_index, phase, level)
+                owner = f"F{set_index}:{inner}"
+                break
+        cells.append((owner or ".").ljust(max(width, 4)))
+    header = "".join(str(level).ljust(max(width, 4)) for level in range(depth + 1))
+    return f"level  {header}\nphase{phase:>3d} " + "".join(cells)
+
+
+def frame_film_strip(
+    geometry: FrameGeometry,
+    first_phase: int = 0,
+    last_phase: Optional[int] = None,
+    mark_targets: bool = True,
+) -> str:
+    """Phase-by-phase strip: rows are phases, columns are network levels.
+
+    Cell characters: digit = frame index covering the level (mod 10),
+    ``>`` overlaid where the frontier (inner-level 0) sits, ``.`` = no
+    frame.  Frames visibly march one level per phase and never overlap —
+    the content of Figure 2.
+    """
+    depth = geometry.depth
+    params = geometry.params
+    if last_phase is None:
+        last_phase = params.total_phases
+    lines = []
+    header = "phase | " + "".join(
+        f"{level % 10}" for level in range(depth + 1)
+    )
+    lines.append(header + "   (levels 0..L)")
+    lines.append("-" * len(header))
+    for phase in range(first_phase, last_phase + 1):
+        row = []
+        for level in range(depth + 1):
+            char = "."
+            for set_index in range(params.num_sets):
+                if geometry.in_frame(set_index, phase, level):
+                    if mark_targets and geometry.frontier(set_index, phase) == level:
+                        char = ">"
+                    else:
+                        char = str(set_index % 10)
+                    break
+            row.append(char)
+        lines.append(f"{phase:5d} | " + "".join(row))
+    return "\n".join(lines)
+
+
+def target_schedule_strip(geometry: FrameGeometry, set_index: int, phase: int) -> str:
+    """Round-by-round target level of one frame within one phase.
+
+    Shows the target receding one inner level per round (rows = rounds,
+    ``T`` marks the target level, ``#`` the rest of the frame).
+    """
+    depth = geometry.depth
+    lines = [f"frame F{set_index}, phase {phase} (frontier at level "
+             f"{geometry.frontier(set_index, phase)})"]
+    for round_index in range(geometry.m):
+        target = geometry.target_level(set_index, phase, round_index)
+        row = []
+        for level in range(depth + 1):
+            if level == target:
+                row.append("T")
+            elif geometry.in_frame(set_index, phase, level):
+                row.append("#")
+            else:
+                row.append(".")
+        lines.append(f"round {round_index:2d} | " + "".join(row))
+    return "\n".join(lines)

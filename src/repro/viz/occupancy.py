@@ -1,0 +1,51 @@
+"""Per-level occupancy sampling and rendering.
+
+An :class:`OccupancySampler` hooks into the engine and records how many
+active packets sit on each level every ``every`` steps; the strip renderer
+turns the samples into a text heat map — useful for *seeing* the packets
+ride their frames up the network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sim import Engine
+
+#: glyph ramp for occupancy 0, 1, 2, ..., 9+
+_RAMP = ".123456789#"
+
+
+class OccupancySampler:
+    """Engine post-step hook recording per-level active-packet counts."""
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"sampling interval must be >= 1, got {every}")
+        self.every = every
+        self.samples: List[Tuple[int, List[int]]] = []
+
+    def install(self, engine: Engine) -> None:
+        """Register with an engine."""
+        engine.post_step_hooks.append(self)
+
+    def __call__(self, engine: Engine, t: int) -> None:
+        if t % self.every != 0:
+            return
+        counts = [0] * engine.net.num_levels
+        for packet in engine.packets:
+            if packet.is_active:
+                counts[engine.net.level(packet.node)] += 1
+        self.samples.append((t, counts))
+
+
+def occupancy_strip(sampler: OccupancySampler, max_rows: int = 60) -> str:
+    """Render samples as rows of glyphs (time down, levels across)."""
+    if not sampler.samples:
+        return "(no samples)"
+    stride = max(1, len(sampler.samples) // max_rows)
+    lines = ["   t | occupancy by level (. = 0, # = 10+)"]
+    for t, counts in sampler.samples[::stride]:
+        row = "".join(_RAMP[min(c, len(_RAMP) - 1)] for c in counts)
+        lines.append(f"{t:6d} | {row}")
+    return "\n".join(lines)

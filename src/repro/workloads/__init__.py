@@ -1,0 +1,32 @@
+"""Workload generators for the experiment suite."""
+
+from .base import (
+    Workload,
+    sample_distinct_sources,
+    random_forward_destination,
+)
+from .generators import (
+    random_many_to_one,
+    end_to_end_permutation,
+    hotspot,
+    single_destination,
+    level_to_level,
+)
+from .adversarial import funnel_through_edge, max_dilation_chain
+from . import mesh as mesh_workloads
+from . import butterfly as butterfly_workloads
+
+__all__ = [
+    "Workload",
+    "sample_distinct_sources",
+    "random_forward_destination",
+    "random_many_to_one",
+    "end_to_end_permutation",
+    "hotspot",
+    "single_destination",
+    "level_to_level",
+    "funnel_through_edge",
+    "max_dilation_chain",
+    "mesh_workloads",
+    "butterfly_workloads",
+]

@@ -1,0 +1,96 @@
+"""Adversarial workloads: extreme congestion and dilation instances.
+
+These pin one of the two lower-bound terms while keeping the other small:
+
+* :func:`funnel_through_edge` drives the congestion of a *chosen edge* to
+  exactly ``N`` (every path crosses it) — the ``C``-dominated regime.
+* :func:`max_dilation_chain` sends a packet the full depth of the network —
+  the ``D = L``-dominated regime.
+
+Together they trace the two axes of the ``Ω(C + D)`` lower bound that
+experiment T1 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import WorkloadError
+from ..net import LeveledNetwork
+from ..paths import RoutingProblem, paths_through_edge
+from ..rng import RngLike, make_rng
+from ..types import EdgeId, NodeId
+
+
+def funnel_through_edge(
+    net: LeveledNetwork,
+    num_packets: int,
+    edge: Optional[EdgeId] = None,
+    seed: RngLike = None,
+) -> RoutingProblem:
+    """A routing problem whose every path crosses one edge (``C = N``).
+
+    Sources are distinct nodes that can reach the edge tail; destinations
+    are random nodes reachable from the edge head.  Returns a full
+    :class:`~repro.paths.RoutingProblem` (paths are the point here, so no
+    separate selector step).
+    """
+    rng = make_rng(seed)
+    if edge is None:
+        # Pick an edge with a rich feeder set: the deeper the tail, the more
+        # ancestors can funnel into it.
+        floor = net.depth // 2
+        candidates = [
+            e for e in net.edges() if net.level(net.edge_src(e)) >= floor
+        ]
+        if not candidates:
+            candidates = list(net.edges())
+        edge = max(
+            candidates,
+            key=lambda e: len(net.backward_reachable(net.edge_src(e))),
+        )
+    tail, head = net.edge_endpoints(edge)
+    feeders = sorted(
+        v for v in net.backward_reachable(tail) if net.out_degree(v) > 0
+    )
+    if num_packets > len(feeders):
+        raise WorkloadError(
+            f"requested {num_packets} packets but only {len(feeders)} nodes "
+            f"feed edge {edge}"
+        )
+    picks = rng.choice(len(feeders), size=num_packets, replace=False)
+    sources = [feeders[int(i)] for i in picks]
+    sinks = sorted(net.forward_reachable(head))
+    destinations: List[NodeId] = [
+        sinks[int(rng.integers(0, len(sinks)))] for _ in sources
+    ]
+    return paths_through_edge(net, edge, sources, destinations, seed=rng)
+
+
+def max_dilation_chain(
+    net: LeveledNetwork,
+    num_packets: int = 1,
+    seed: RngLike = None,
+) -> Tuple[List[Tuple[NodeId, NodeId]], int]:
+    """Endpoint pairs spanning the full depth (``D = L``), plus that depth.
+
+    Returns ``(endpoints, dilation)``; pairs are distinct level-0 sources
+    with level-``L`` destinations each can reach.  Raises
+    :class:`~repro.errors.WorkloadError` if fewer than ``num_packets``
+    level-0 nodes reach the top level.
+    """
+    rng = make_rng(seed)
+    full_span: List[Tuple[NodeId, NodeId]] = []
+    for src in net.nodes_at_level(0):
+        tops = [
+            v for v in sorted(net.forward_reachable(src)) if net.level(v) == net.depth
+        ]
+        if tops:
+            full_span.append((src, tops[int(rng.integers(0, len(tops)))]))
+    if len(full_span) < num_packets:
+        raise WorkloadError(
+            f"only {len(full_span)} level-0 nodes reach level {net.depth}, "
+            f"requested {num_packets}"
+        )
+    picks = rng.choice(len(full_span), size=num_packets, replace=False)
+    return [full_span[int(i)] for i in picks], net.depth

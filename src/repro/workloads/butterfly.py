@@ -1,0 +1,92 @@
+"""Butterfly workloads.
+
+Because bit-fixing paths on the butterfly are unique, the endpoint pattern
+fully determines congestion: random end-to-end traffic gives small ``C``,
+while *bit-reversal-like* adversarial patterns and hot rows concentrate
+paths.  These are the standard stress inputs for experiments T1/T4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import WorkloadError
+from ..net import LeveledNetwork, butterfly_node, wrapped_butterfly_rows
+from ..rng import RngLike, make_rng
+from ..types import NodeId
+from .base import Workload
+
+
+def random_end_to_end(
+    net: LeveledNetwork, num_packets: int | None = None, seed: RngLike = None
+) -> Workload:
+    """Each chosen level-0 row sends to a uniformly random level-L row."""
+    rows = wrapped_butterfly_rows(net)
+    dim = net.depth
+    rng = make_rng(seed)
+    if num_packets is None:
+        num_packets = rows
+    if num_packets > rows:
+        raise WorkloadError(f"at most {rows} sources, requested {num_packets}")
+    chosen = rng.choice(rows, size=num_packets, replace=False)
+    endpoints: List[Tuple[NodeId, NodeId]] = []
+    for row in chosen:
+        dest_row = int(rng.integers(0, rows))
+        endpoints.append(
+            (
+                butterfly_node(net, 0, int(row)),
+                butterfly_node(net, dim, dest_row),
+            )
+        )
+    return Workload("bf_random_end_to_end", net, tuple(endpoints))
+
+
+def full_permutation(net: LeveledNetwork, seed: RngLike = None) -> Workload:
+    """Every level-0 row sends to a distinct level-L row (random bijection)."""
+    rows = wrapped_butterfly_rows(net)
+    dim = net.depth
+    rng = make_rng(seed)
+    perm = rng.permutation(rows)
+    endpoints = tuple(
+        (butterfly_node(net, 0, row), butterfly_node(net, dim, int(perm[row])))
+        for row in range(rows)
+    )
+    return Workload("bf_permutation", net, tuple(endpoints))
+
+
+def hot_row(
+    net: LeveledNetwork, num_packets: int | None = None, seed: RngLike = None
+) -> Workload:
+    """All packets target one output row: ``C = Θ(N)``.
+
+    The unique bit-fixing paths converge on the target row's two in-edges
+    (split by the sources' low-order bit), so the busier final edge carries
+    at least ``N/2`` packets — the canonical high-congestion butterfly
+    instance, and the C-sweep axis of experiment T1.
+    """
+    rows = wrapped_butterfly_rows(net)
+    dim = net.depth
+    rng = make_rng(seed)
+    if num_packets is None:
+        num_packets = rows
+    if num_packets > rows:
+        raise WorkloadError(f"at most {rows} sources, requested {num_packets}")
+    target = int(rng.integers(0, rows))
+    chosen = rng.choice(rows, size=num_packets, replace=False)
+    endpoints = tuple(
+        (butterfly_node(net, 0, int(row)), butterfly_node(net, dim, target))
+        for row in chosen
+    )
+    return Workload("bf_hot_row", net, endpoints)
+
+
+def bit_complement(net: LeveledNetwork) -> Workload:
+    """Row ``r`` sends to row ``~r`` — a worst-case-ish structured pattern."""
+    rows = wrapped_butterfly_rows(net)
+    dim = net.depth
+    mask = rows - 1
+    endpoints = tuple(
+        (butterfly_node(net, 0, row), butterfly_node(net, dim, row ^ mask))
+        for row in range(rows)
+    )
+    return Workload("bf_bit_complement", net, endpoints)

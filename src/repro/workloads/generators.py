@@ -1,0 +1,173 @@
+"""Generic workload generators (any leveled network).
+
+Each generator returns a :class:`~repro.workloads.base.Workload`; combine
+with a path selector from :mod:`repro.paths` to obtain a routing problem.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..net import LeveledNetwork
+from ..rng import RngLike, make_rng
+from ..types import NodeId
+from .base import Workload, random_forward_destination, sample_distinct_sources
+
+
+def random_many_to_one(
+    net: LeveledNetwork,
+    num_packets: int,
+    seed: RngLike = None,
+    source_levels: Optional[Sequence[int]] = None,
+    min_dest_level: Optional[int] = None,
+) -> Workload:
+    """The paper's default problem class: distinct sources, random dests.
+
+    Each of ``num_packets`` distinct source nodes sends to a uniformly
+    random forward-reachable destination (optionally at or above
+    ``min_dest_level``); many packets may share a destination.
+    """
+    rng = make_rng(seed)
+    sources = sample_distinct_sources(net, num_packets, rng, levels=source_levels)
+    endpoints = tuple(
+        (src, random_forward_destination(net, src, rng, min_level=min_dest_level))
+        for src in sources
+    )
+    return Workload("random_many_to_one", net, endpoints)
+
+
+def end_to_end_permutation(net: LeveledNetwork, seed: RngLike = None) -> Workload:
+    """A random bijection from level-0 nodes onto level-``L`` nodes.
+
+    Requires ``|level 0| == |level L|`` and full reachability (true for
+    butterflies, omega networks, layered-complete networks).
+    """
+    rng = make_rng(seed)
+    sources = list(net.nodes_at_level(0))
+    targets = list(net.nodes_at_level(net.depth))
+    if len(sources) != len(targets):
+        raise WorkloadError(
+            f"permutation needs |level 0| == |level L|, got "
+            f"{len(sources)} != {len(targets)}"
+        )
+    perm = rng.permutation(len(targets))
+    endpoints: List[Tuple[NodeId, NodeId]] = []
+    for i, src in enumerate(sources):
+        dst = targets[int(perm[i])]
+        if dst not in net.forward_reachable(src):
+            raise WorkloadError(
+                f"destination {dst} unreachable from source {src}; "
+                "end-to-end permutations need full level-0 -> level-L "
+                "reachability"
+            )
+        endpoints.append((src, dst))
+    return Workload("end_to_end_permutation", net, tuple(endpoints))
+
+
+def hotspot(
+    net: LeveledNetwork,
+    num_packets: int,
+    num_hotspots: int = 1,
+    seed: RngLike = None,
+    hotspot_level: Optional[int] = None,
+) -> Workload:
+    """Many-to-few: all packets aim at a handful of destination nodes.
+
+    Drives congestion up to ``~N/num_hotspots`` on the edges into the hot
+    nodes — the high-``C`` regime of the scaling experiments.  Hot spots
+    default to the top level; sources are sampled among nodes that can
+    reach at least one hot spot.
+    """
+    if num_hotspots < 1:
+        raise WorkloadError(f"need >= 1 hotspot, got {num_hotspots}")
+    rng = make_rng(seed)
+    level = net.depth if hotspot_level is None else hotspot_level
+    spots_pool = list(net.nodes_at_level(level))
+    if num_hotspots > len(spots_pool):
+        raise WorkloadError(
+            f"{num_hotspots} hotspots requested on level {level} with "
+            f"{len(spots_pool)} nodes"
+        )
+    picks = rng.choice(len(spots_pool), size=num_hotspots, replace=False)
+    spots = [spots_pool[int(i)] for i in picks]
+    feeders: dict[NodeId, List[NodeId]] = {}
+    for spot in spots:
+        for v in net.backward_reachable(spot):
+            if v != spot and net.level(v) < level:
+                feeders.setdefault(v, []).append(spot)
+    pool = sorted(feeders)
+    if num_packets > len(pool):
+        raise WorkloadError(
+            f"requested {num_packets} packets but only {len(pool)} nodes "
+            f"can reach a hotspot"
+        )
+    chosen = rng.choice(len(pool), size=num_packets, replace=False)
+    endpoints = []
+    for i in chosen:
+        src = pool[int(i)]
+        options = feeders[src]
+        endpoints.append((src, options[int(rng.integers(0, len(options)))]))
+    return Workload(f"hotspot(x{num_hotspots})", net, tuple(endpoints))
+
+
+def single_destination(
+    net: LeveledNetwork,
+    num_packets: int,
+    destination: Optional[NodeId] = None,
+    seed: RngLike = None,
+) -> Workload:
+    """Extreme many-to-one: every packet shares one destination.
+
+    With ``num_packets = N`` the congestion on the destination's in-edges is
+    ``Θ(N / in_degree)`` — the workload that pins ``C`` while ``L`` is swept.
+    """
+    rng = make_rng(seed)
+    if destination is None:
+        top = net.nodes_at_level(net.depth)
+        destination = top[int(rng.integers(0, len(top)))]
+    feeders = sorted(
+        v
+        for v in net.backward_reachable(destination)
+        if v != destination and net.level(v) < net.level(destination)
+    )
+    if num_packets > len(feeders):
+        raise WorkloadError(
+            f"requested {num_packets} packets but only {len(feeders)} nodes "
+            f"reach node {destination}"
+        )
+    picks = rng.choice(len(feeders), size=num_packets, replace=False)
+    endpoints = tuple((feeders[int(i)], destination) for i in picks)
+    return Workload("single_destination", net, endpoints)
+
+
+def level_to_level(
+    net: LeveledNetwork,
+    num_packets: int,
+    source_level: int,
+    dest_level: int,
+    seed: RngLike = None,
+) -> Workload:
+    """Random sources on one level, random reachable dests on another."""
+    if not 0 <= source_level < dest_level <= net.depth:
+        raise WorkloadError(
+            f"need 0 <= source_level < dest_level <= L, got "
+            f"{source_level}, {dest_level}, L={net.depth}"
+        )
+    rng = make_rng(seed)
+    sources = sample_distinct_sources(net, num_packets, rng, levels=[source_level])
+    endpoints = []
+    for src in sources:
+        options = [
+            v
+            for v in sorted(net.forward_reachable(src))
+            if net.level(v) == dest_level
+        ]
+        if not options:
+            raise WorkloadError(
+                f"source {src} cannot reach any node on level {dest_level}"
+            )
+        endpoints.append((src, options[int(rng.integers(0, len(options)))]))
+    return Workload(
+        f"level_to_level({source_level}->{dest_level})", net, tuple(endpoints)
+    )

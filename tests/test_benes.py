@@ -1,0 +1,70 @@
+"""Tests for the Beneš network and routing on it."""
+
+import pytest
+
+from repro.core import AlgorithmParams
+from repro.errors import TopologyError
+from repro.experiments import run_frontier_trial
+from repro.net import assert_valid, benes, benes_node, benes_rows
+from repro.paths import select_paths_bottleneck, select_paths_random
+from repro.workloads import end_to_end_permutation
+
+
+class TestStructure:
+    def test_shape(self):
+        net = benes(3)
+        assert net.depth == 6
+        assert benes_rows(net) == 8
+        assert net.num_nodes == 7 * 8
+        assert net.num_edges == 6 * 8 * 2
+        assert_valid(net)
+
+    def test_every_pair_connected(self):
+        net = benes(3)
+        for src in net.nodes_at_level(0):
+            tops = {
+                v
+                for v in net.forward_reachable(src)
+                if net.level(v) == net.depth
+            }
+            assert len(tops) == 8  # full input-output connectivity
+
+    def test_many_paths_per_pair(self):
+        # Unlike the butterfly, a Benes pair has multiple monotone paths:
+        # sample several and expect at least two distinct ones.
+        import numpy as np
+
+        net = benes(3)
+        src = benes_node(net, 0, 0)
+        dst = benes_node(net, 6, 5)
+        from repro.paths import random_monotone_path
+
+        rng = np.random.default_rng(0)
+        paths = {
+            random_monotone_path(net, src, dst, rng).edges for _ in range(20)
+        }
+        assert len(paths) >= 2
+
+    def test_dim_validated(self):
+        with pytest.raises(TopologyError):
+            benes(0)
+
+
+class TestRouting:
+    def test_permutation_low_congestion_paths(self):
+        # Benes is rearrangeable: bottleneck-greedy selection should find
+        # a near-disjoint path system for a permutation (C small).
+        net = benes(3)
+        wl = end_to_end_permutation(net, seed=5)
+        problem = select_paths_bottleneck(net, wl.endpoints, seed=6)
+        assert problem.congestion <= 3
+
+    def test_frontier_routes_benes_permutation(self):
+        net = benes(3)
+        wl = end_to_end_permutation(net, seed=7)
+        problem = select_paths_random(net, wl.endpoints, seed=8)
+        record = run_frontier_trial(
+            problem, seed=9, audit=True, condition_sets=True, m=6, w_factor=8.0
+        )
+        assert record.result.all_delivered
+        assert record.audit.ok, record.audit.summary()

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_problem, build_topology, main
+
+
+class TestTopologySpecs:
+    @pytest.mark.parametrize(
+        "spec,depth",
+        [
+            ("butterfly:3", 3),
+            ("mesh:4x6", 8),
+            ("mesh:5", 8),  # square shorthand
+            ("hypercube:4", 4),
+            ("line:9", 9),
+            ("omega:3", 3),
+            ("fattree:3", 3),
+            ("btree:3", 3),
+            ("random:4x10", 10),
+        ],
+    )
+    def test_specs_parse(self, spec, depth):
+        net = build_topology(spec)
+        assert net.depth == depth
+
+    def test_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_topology("torus:4")
+
+    def test_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            build_topology("butterfly:abc")
+
+
+class TestWorkloads:
+    def test_random_workload(self):
+        net = build_topology("butterfly:3")
+        problem = build_problem(net, "random", 6, seed=0)
+        assert problem.num_packets == 6
+
+    def test_permutation(self):
+        net = build_topology("butterfly:3")
+        problem = build_problem(net, "permutation", None, seed=0)
+        assert problem.num_packets == 8
+
+    def test_hotrow(self):
+        net = build_topology("butterfly:3")
+        problem = build_problem(net, "hotrow", 6, seed=0)
+        assert len({d for _, d in ((s.source, s.destination) for s in problem)}) == 1
+
+    def test_unknown_workload(self):
+        net = build_topology("butterfly:3")
+        with pytest.raises(SystemExit):
+            build_problem(net, "nope", None, seed=0)
+
+
+class TestCommands:
+    def test_topo_command(self, capsys):
+        assert main(["topo", "mesh:4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "validation" in out and "OK" in out
+
+    def test_params_command(self, capsys):
+        assert main(["params", "4", "8", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "practical parameters" in out
+        assert "theory-exact" in out
+
+    def test_frames_command(self, capsys):
+        assert main(["frames", "4", "10", "16", "--m", "4", "--w", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "phase |" in out
+
+    def test_route_frontier_audited(self, capsys):
+        code = main(
+            [
+                "route",
+                "--net",
+                "butterfly:3",
+                "--workload",
+                "random",
+                "--packets",
+                "6",
+                "--router",
+                "frontier",
+                "--audit",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "all invariants held" in out
+
+    @pytest.mark.parametrize(
+        "router", ["naive", "greedy", "randgreedy", "storeforward"]
+    )
+    def test_route_baselines(self, capsys, router):
+        code = main(
+            [
+                "route",
+                "--net",
+                "butterfly:3",
+                "--workload",
+                "permutation",
+                "--router",
+                router,
+                "--seed",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ok" in out
+
+    def test_route_unknown_router(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--router", "quantum"])
+
+    def test_experiment_listing(self, capsys):
+        assert main(["experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "t1" in out and "a4" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "zz"]) == 2
+
+    def test_experiment_runs_one(self, capsys):
+        # E1 is the cheapest experiment (topology validation only).
+        assert main(["experiment", "e1"]) == 0
+
+    @pytest.mark.parametrize("router", ["naive", "greedy"])
+    def test_dynamic_command(self, capsys, router):
+        code = main(
+            [
+                "dynamic",
+                "--net",
+                "butterfly:3",
+                "--rate",
+                "0.2",
+                "--horizon",
+                "60",
+                "--router",
+                router,
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "drained" in out
+        assert "latency" in out

@@ -1,0 +1,69 @@
+"""Unit tests for congestion/dilation measurement (Section 2.4)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.net import line
+from repro.paths import (
+    congested_edges,
+    congestion_histogram,
+    dilation,
+    edge_congestion_counts,
+    level_occupancy,
+    max_edge_congestion,
+    per_set_congestion,
+)
+
+
+@pytest.fixture
+def edge_lists():
+    # 3 packets over a 5-edge universe.
+    return [[0, 1, 2], [1, 2, 3], [2, 3, 4]]
+
+
+def test_edge_counts(edge_lists):
+    assert edge_congestion_counts(edge_lists, 5) == [1, 2, 3, 2, 1]
+
+
+def test_max_congestion(edge_lists):
+    assert max_edge_congestion(edge_lists, 5) == 3
+
+
+def test_max_congestion_empty():
+    assert max_edge_congestion([], 5) == 0
+    assert max_edge_congestion([[]], 0) == 0
+
+
+def test_duplicate_edges_count_twice():
+    # A current path can transiently hold the same edge twice.
+    assert edge_congestion_counts([[0, 0]], 1) == [2]
+
+
+def test_dilation(edge_lists):
+    assert dilation(edge_lists) == 3
+    assert dilation([]) == 0
+
+
+def test_per_set_congestion(edge_lists):
+    maxima = per_set_congestion(edge_lists, [0, 0, 1], 2, 5)
+    assert maxima == [2, 1]
+
+
+def test_per_set_congestion_alignment_checked(edge_lists):
+    with pytest.raises(ValueError):
+        per_set_congestion(edge_lists, [0, 1], 2, 5)
+
+
+def test_congested_edges(edge_lists):
+    assert congested_edges(edge_lists, 5, threshold=2) == [(1, 2), (2, 3), (3, 2)]
+
+
+def test_histogram(edge_lists):
+    assert congestion_histogram(edge_lists, 5) == Counter({1: 2, 2: 2, 3: 1})
+
+
+def test_level_occupancy():
+    net = line(4)
+    counts = level_occupancy(net, [0, 0, 2, 4])
+    assert counts == [2, 0, 1, 0, 1]

@@ -1,0 +1,78 @@
+"""Small tests for helpers the main suites exercise only indirectly."""
+
+from repro.analysis import compare_with_bounds
+from repro.net import (
+    butterfly,
+    iter_edge_endpoints,
+    line,
+    profile,
+    random_level_sizes,
+)
+from repro.sim import EventKind, TraceEvent
+from repro.types import Direction
+
+
+class TestNetHelpers:
+    def test_iter_edge_endpoints(self):
+        net = line(3)
+        triples = list(iter_edge_endpoints(net))
+        assert triples == [(0, 0, 1), (1, 1, 2), (2, 2, 3)]
+
+    def test_profile_as_row(self):
+        row = profile(butterfly(3)).as_row()
+        assert row[0] == "butterfly(3)"
+        assert row[1] == 3  # depth
+
+    def test_random_level_sizes_max_width(self):
+        sizes = random_level_sizes(8, 20, seed=0, max_width=5)
+        assert all(1 <= s <= 5 for s in sizes)
+
+    def test_repr_smoke(self):
+        assert "butterfly(3)" in repr(butterfly(3))
+
+
+class TestEventStr:
+    def test_event_rendering(self):
+        event = TraceEvent(
+            time=3,
+            kind=EventKind.DEFLECT,
+            packet=7,
+            node=2,
+            edge=5,
+            direction=Direction.BACKWARD,
+            detail="x",
+        )
+        text = str(event)
+        for fragment in ("t=3", "deflect", "pkt=7", "node=2", "edge=5",
+                         "backward", "x"):
+            assert fragment in text
+
+
+class TestBoundsExplicitPackets:
+    def test_override_packet_count(self, bf4_random_problem):
+        from repro.baselines import NaivePathRouter
+        from repro.sim import Engine
+
+        result = Engine(bf4_random_problem, NaivePathRouter(), seed=0).run(500)
+        a = compare_with_bounds(result)
+        b = compare_with_bounds(result, num_packets=1000)
+        # Larger N inflates the theorem bound, shrinking the fraction.
+        assert b.theorem_upper > a.theorem_upper
+        assert b.fraction_of_upper < a.fraction_of_upper
+
+
+class TestMultiphaseExplicitParams:
+    def test_params_list_respected(self):
+        from repro.core import AlgorithmParams, run_multiphase
+        from repro.net import line as make_line
+        from repro.paths import PacketSpec, Path, RoutingProblem
+
+        net = make_line(6)
+        edges = [net.find_edge(i, i + 1) for i in range(6)]
+        problem = RoutingProblem(
+            net, [PacketSpec(0, 0, 6, Path(net, edges))]
+        )
+        params = AlgorithmParams.practical(1, 6, 1, m=4, w=8)
+        outcome = run_multiphase([problem], seed=0, params_list=[params])
+        assert outcome.all_delivered
+        assert outcome.phase_results[0].extra["m"] == 4.0

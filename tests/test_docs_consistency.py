@@ -1,0 +1,100 @@
+"""Meta-tests keeping the documentation honest.
+
+DESIGN.md's experiment index, the bench modules, EXPERIMENTS.md's
+sections, and the examples directory must stay in sync; these tests fail
+when someone adds an experiment or example without recording it (or vice
+versa).
+"""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+def bench_modules() -> set:
+    return {
+        p.name for p in (ROOT / "benchmarks").glob("bench_*.py")
+    }
+
+
+class TestDesignIndex:
+    def test_every_bench_target_exists(self):
+        design = read("DESIGN.md")
+        referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        assert referenced, "DESIGN.md references no bench targets?"
+        missing = referenced - bench_modules()
+        assert not missing, f"DESIGN.md references absent benches: {missing}"
+
+    def test_every_bench_is_indexed(self):
+        design = read("DESIGN.md")
+        referenced = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        unindexed = bench_modules() - referenced
+        assert not unindexed, (
+            f"benches missing from DESIGN.md's index: {unindexed}"
+        )
+
+
+class TestExperimentsRecord:
+    def test_every_experiment_id_documented(self):
+        experiments = read("EXPERIMENTS.md")
+        for module in bench_modules():
+            # bench_t1_scaling.py -> t1 ; bench_engine_throughput exempt.
+            match = re.match(r"bench_([a-z]\d+)_", module)
+            if not match:
+                continue
+            exp_id = match.group(1).upper()
+            assert re.search(rf"\b{exp_id}\b", experiments), (
+                f"{module} has no section in EXPERIMENTS.md ({exp_id})"
+            )
+
+    def test_regeneration_command_present(self):
+        assert "pytest benchmarks/ --benchmark-only" in read("EXPERIMENTS.md")
+
+
+class TestReadme:
+    def test_every_example_listed(self):
+        readme = read("README.md")
+        examples = {
+            p.name for p in (ROOT / "examples").glob("*.py")
+        }
+        for example in examples - {"quickstart.py"}:
+            assert example in readme, f"README does not mention {example}"
+        assert "quickstart.py" in readme
+
+    def test_docs_linked(self):
+        readme = read("README.md")
+        exempt = {"paper_summary.md", "api.md"}
+        for page in (ROOT / "docs").glob("*.md"):
+            assert page.name in readme or page.name in exempt, (
+                f"README does not link docs/{page.name}"
+            )
+
+
+class TestApiIndex:
+    def test_api_doc_is_fresh(self, tmp_path):
+        """docs/api.md must match what the generator produces now."""
+        import subprocess
+        import sys
+
+        current = read("docs/api.md")
+        subprocess.check_call(
+            [sys.executable, str(ROOT / "tools" / "gen_api_doc.py")]
+        )
+        regenerated = read("docs/api.md")
+        assert current == regenerated, (
+            "docs/api.md is stale; run python tools/gen_api_doc.py"
+        )
+
+
+class TestExamplesCovered:
+    def test_every_example_has_a_smoke_test(self):
+        smoke = read("tests/test_examples.py")
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in smoke, (
+                f"{example.name} has no smoke test in tests/test_examples.py"
+            )

@@ -1,0 +1,14 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.net.leveled
+
+
+@pytest.mark.parametrize("module", [repro.net.leveled])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0  # the module really has doctests

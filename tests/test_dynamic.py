@@ -1,0 +1,150 @@
+"""Tests for the dynamic (continuous-injection) routing extension."""
+
+import math
+
+import pytest
+
+from repro.dynamic import (
+    Arrival,
+    DynamicGreedyRouter,
+    DynamicNaiveRouter,
+    arrivals_to_problem,
+    bernoulli_arrivals,
+    dynamic_stats,
+    offered_load,
+)
+from repro.errors import WorkloadError
+from repro.net import butterfly
+from repro.sim import Engine
+
+
+@pytest.fixture
+def net():
+    return butterfly(3)
+
+
+class TestArrivals:
+    def test_rate_controls_volume(self, net):
+        low = bernoulli_arrivals(net, 0.05, horizon=200, seed=1)
+        high = bernoulli_arrivals(net, 0.5, horizon=200, seed=1)
+        assert len(high) > 3 * len(low)
+
+    def test_arrival_fields_valid(self, net):
+        for arrival in bernoulli_arrivals(net, 0.2, horizon=50, seed=2):
+            assert 0 <= arrival.time < 50
+            assert net.level(arrival.destination) > net.level(arrival.source)
+
+    def test_source_levels_respected(self, net):
+        arrivals = bernoulli_arrivals(
+            net, 0.3, horizon=50, seed=3, source_levels=[0]
+        )
+        assert arrivals
+        assert all(net.level(a.source) == 0 for a in arrivals)
+
+    def test_min_hops(self, net):
+        arrivals = bernoulli_arrivals(net, 0.3, horizon=50, seed=4, min_hops=3)
+        assert all(
+            net.level(a.destination) - net.level(a.source) >= 3
+            for a in arrivals
+        )
+
+    def test_rate_validated(self, net):
+        with pytest.raises(WorkloadError):
+            bernoulli_arrivals(net, 1.5, horizon=10)
+        with pytest.raises(WorkloadError):
+            bernoulli_arrivals(net, 0.1, horizon=0)
+
+    def test_reproducible(self, net):
+        a = bernoulli_arrivals(net, 0.2, horizon=100, seed=9)
+        b = bernoulli_arrivals(net, 0.2, horizon=100, seed=9)
+        assert a == b
+
+    def test_offered_load_monotone(self, net):
+        low = bernoulli_arrivals(net, 0.05, horizon=100, seed=1)
+        high = bernoulli_arrivals(net, 0.5, horizon=100, seed=1)
+        assert offered_load(net, high, 100) > offered_load(net, low, 100)
+
+
+class TestProblemConversion:
+    def test_multi_source_allowed(self, net):
+        arrivals = [
+            Arrival(0, net.nodes_at_level(0)[0], net.nodes_at_level(3)[0]),
+            Arrival(5, net.nodes_at_level(0)[0], net.nodes_at_level(3)[1]),
+        ]
+        problem, times = arrivals_to_problem(net, arrivals, seed=0)
+        assert problem.num_packets == 2
+        assert times == [0, 5]
+
+
+class TestDynamicRouting:
+    @pytest.mark.parametrize("router_cls", [DynamicNaiveRouter, DynamicGreedyRouter])
+    def test_packets_respect_arrival_times(self, net, router_cls):
+        arrivals = bernoulli_arrivals(net, 0.2, horizon=60, seed=5)
+        problem, times = arrivals_to_problem(net, arrivals, seed=6)
+        router = (
+            router_cls(times)
+            if router_cls is DynamicNaiveRouter
+            else router_cls(times, seed=7)
+        )
+        engine = Engine(problem, router, seed=8)
+        result = engine.run(60 + 5000)
+        assert result.all_delivered
+        for pid, packet in enumerate(engine.packets):
+            assert packet.injected_at >= times[pid]
+
+    def test_high_load_does_not_crash(self, net):
+        """Regression: pending injections must never starve deflected
+        residents of slots (the revocation rule)."""
+        arrivals = bernoulli_arrivals(net, 0.9, horizon=100, seed=11)
+        problem, times = arrivals_to_problem(net, arrivals, seed=12)
+        engine = Engine(problem, DynamicNaiveRouter(times), seed=13)
+        result = engine.run(100 + 30000)
+        assert result.all_delivered
+        assert result.unsafe_deflections == 0
+
+    def test_latency_grows_with_load(self, net):
+        stats_by_rate = {}
+        for rate in (0.1, 0.8):
+            arrivals = bernoulli_arrivals(net, rate, horizon=150, seed=21)
+            problem, times = arrivals_to_problem(net, arrivals, seed=22)
+            engine = Engine(problem, DynamicNaiveRouter(times), seed=23)
+            result = engine.run(150 + 30000)
+            assert result.all_delivered
+            stats_by_rate[rate] = dynamic_stats(
+                result, times, [len(s.path) for s in problem]
+            )
+        assert (
+            stats_by_rate[0.8].mean_latency > stats_by_rate[0.1].mean_latency
+        )
+
+    def test_schedule_length_validated(self, net):
+        arrivals = bernoulli_arrivals(net, 0.2, horizon=30, seed=31)
+        problem, times = arrivals_to_problem(net, arrivals, seed=32)
+        with pytest.raises(WorkloadError):
+            Engine(problem, DynamicNaiveRouter(times[:-1]), seed=33)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(WorkloadError):
+            DynamicNaiveRouter([-1, 0])
+
+
+class TestDynamicStats:
+    def test_stats_fields(self, net):
+        arrivals = bernoulli_arrivals(net, 0.2, horizon=50, seed=41)
+        problem, times = arrivals_to_problem(net, arrivals, seed=42)
+        engine = Engine(problem, DynamicNaiveRouter(times), seed=43)
+        result = engine.run(50 + 5000)
+        stats = dynamic_stats(result, times, [len(s.path) for s in problem])
+        assert stats.drained
+        assert stats.offered == problem.num_packets
+        assert stats.mean_hop_stretch >= 1.0
+        assert stats.p50_latency <= stats.p95_latency <= stats.max_latency
+        assert len(stats.as_row()) == 7
+
+    def test_undelivered_handled(self, net):
+        arrivals = bernoulli_arrivals(net, 0.2, horizon=50, seed=51)
+        problem, times = arrivals_to_problem(net, arrivals, seed=52)
+        engine = Engine(problem, DynamicNaiveRouter(times), seed=53)
+        result = engine.run(3)  # cut off early
+        stats = dynamic_stats(result, times)
+        assert not stats.drained

@@ -1,0 +1,149 @@
+"""Edge-case tests across modules (branches the main suites skip)."""
+
+import pytest
+
+from repro.baselines import QueuePolicy, StoreForwardScheduler
+from repro.errors import PathError
+from repro.net import layered_complete, layered_node, line
+from repro.paths import PacketSpec, Path, RoutingProblem, paths_through_edge
+from repro.sim import Engine
+from repro.baselines import NaivePathRouter
+
+
+class TestStoreForwardPolicies:
+    def build(self):
+        """Three packets with different remaining lengths share one edge."""
+        net = line(4)
+        edges = [net.find_edge(i, i + 1) for i in range(4)]
+        specs = [
+            PacketSpec(0, 0, 4, Path(net, edges)),        # 4 hops
+            PacketSpec(1, 0, 2, Path(net, edges[:2])),    # 2 hops
+            PacketSpec(2, 0, 1, Path(net, edges[:1])),    # 1 hop
+        ]
+        return RoutingProblem(net, specs, allow_multi_source=True)
+
+    def test_furthest_to_go_priority(self):
+        prob = self.build()
+        sched = StoreForwardScheduler(prob, policy=QueuePolicy.FURTHEST_TO_GO)
+        result = sched.run()
+        assert result.all_delivered
+        # The 4-hop packet must cross edge 0 first, hence finish before the
+        # 1-hop packet crosses it last: packet 0's delivery < packet 2 + 4.
+        assert result.delivery_times[0] <= result.delivery_times[2] + 4
+
+    def test_fifo_order_on_shared_edge(self):
+        prob = self.build()
+        result = StoreForwardScheduler(prob, policy=QueuePolicy.FIFO).run()
+        assert result.all_delivered
+        # FIFO admits in packet-id order at t=0, so packet 0 crosses first.
+        assert result.delivery_times[0] == 4
+
+    def test_random_policy_seeded(self):
+        prob = self.build()
+        a = StoreForwardScheduler(prob, policy=QueuePolicy.RANDOM, seed=3).run()
+        b = StoreForwardScheduler(prob, policy=QueuePolicy.RANDOM, seed=3).run()
+        assert a.delivery_times == b.delivery_times
+
+
+class TestEngineEdgeCases:
+    def test_zero_step_budget(self):
+        net = line(2)
+        prob = RoutingProblem(
+            net,
+            [PacketSpec(0, 0, 2, Path(net, [net.find_edge(0, 1), net.find_edge(1, 2)]))],
+        )
+        result = Engine(prob, NaivePathRouter(), seed=0).run(0)
+        assert result.makespan == 0
+        assert result.delivered == 0
+
+    def test_result_before_running(self):
+        net = line(2)
+        prob = RoutingProblem(
+            net,
+            [PacketSpec(0, 0, 2, Path(net, [net.find_edge(0, 1), net.find_edge(1, 2)]))],
+        )
+        engine = Engine(prob, NaivePathRouter(), seed=0)
+        result = engine.result()
+        assert result.delivered == 0
+        assert result.total_moves == 0
+
+    def test_mark_eligible_ignores_non_pending(self):
+        net = line(2)
+        prob = RoutingProblem(
+            net,
+            [PacketSpec(0, 0, 2, Path(net, [net.find_edge(0, 1), net.find_edge(1, 2)]))],
+        )
+        engine = Engine(prob, NaivePathRouter(), seed=0)
+        engine.run(10)
+        engine.mark_eligible(0)  # already absorbed: no-op
+        assert 0 not in engine.eligible
+
+
+class TestPathsThroughEdgeValidation:
+    def test_mismatched_lengths(self, bf4):
+        edge = next(e for e in bf4.edges() if bf4.level(bf4.edge_src(e)) == 2)
+        src = bf4.nodes_at_level(0)[0]
+        with pytest.raises(PathError):
+            paths_through_edge(bf4, edge, [src], [], seed=0)
+
+
+class TestVizEdgeCases:
+    def test_snapshot_with_no_frames_in_network(self):
+        from repro.core import AlgorithmParams, FrameGeometry
+        from repro.viz import frame_snapshot
+
+        geometry = FrameGeometry(
+            AlgorithmParams.practical(4, 10, 16, m=4, w=8)
+        )
+        # Phase far beyond all frames: every level shows '.'.
+        text = frame_snapshot(geometry, phase=10**6)
+        assert "F" not in text.splitlines()[-1]
+
+    def test_film_strip_without_target_marks(self):
+        from repro.core import AlgorithmParams, FrameGeometry
+        from repro.viz import frame_film_strip
+
+        geometry = FrameGeometry(
+            AlgorithmParams.practical(4, 10, 16, m=4, w=8)
+        )
+        text = frame_film_strip(geometry, 0, 6, mark_targets=False)
+        assert ">" not in text.split("(levels", 1)[0] or True
+        body = "\n".join(text.splitlines()[2:])
+        assert ">" not in body
+
+
+class TestReportEdgeCases:
+    def test_empty_rows(self):
+        from repro.analysis import format_table
+
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_kv_empty(self):
+        from repro.analysis import format_kv
+
+        assert format_kv({}) == ""
+
+
+class TestGadgetRouting:
+    def test_wide_fanin_gadget(self):
+        """Everything through a single middle node — max conflict density."""
+        net = layered_complete([6, 1, 6])
+        mid = layered_node(net, 1, 0)
+        specs = []
+        for i in range(6):
+            src = layered_node(net, 0, i)
+            dst = layered_node(net, 2, i)
+            specs.append(
+                PacketSpec(
+                    i, src, dst,
+                    Path(net, [net.find_edge(src, mid), net.find_edge(mid, dst)]),
+                )
+            )
+        prob = RoutingProblem(net, specs)
+        result = Engine(prob, NaivePathRouter(), seed=4).run(500)
+        assert result.all_delivered
+        # The middle node forwards at most one packet per out-edge per
+        # step, but all six out-edges differ, so deflections come only
+        # from the single-step arrival bottleneck (6 in-edges -> fine):
+        assert result.makespan >= 2

@@ -1,0 +1,242 @@
+"""Unit tests for the synchronous bufferless engine.
+
+These pin down the machine model of Section 1.1: hot-potato motion (every
+active packet moves every step), per-(edge, direction) unit capacity,
+priority arbitration, and backward/safe deflection matching (Lemma 2.1).
+"""
+
+import pytest
+
+from repro.baselines import NaivePathRouter
+from repro.errors import SimulationError
+from repro.net import layered_complete, layered_node, line
+from repro.paths import PacketSpec, Path, RoutingProblem
+from repro.sim import (
+    DesiredMove,
+    Engine,
+    EventKind,
+    PacketStatus,
+    Router,
+    TraceRecorder,
+)
+from repro.types import Direction, MoveKind
+
+
+def two_into_one_problem():
+    """Two packets from separate sources forced through one edge.
+
+    layered_complete([2, 1, 2]): both packets route via the middle node and
+    then the SAME top node, so they conflict on the (mid -> top) edge.
+    """
+    net = layered_complete([2, 1, 2])
+    a0 = layered_node(net, 0, 0)
+    a1 = layered_node(net, 0, 1)
+    mid = layered_node(net, 1, 0)
+    b0 = layered_node(net, 2, 0)
+    specs = [
+        PacketSpec(0, a0, b0, Path(net, [net.find_edge(a0, mid), net.find_edge(mid, b0)])),
+        PacketSpec(1, a1, b0, Path(net, [net.find_edge(a1, mid), net.find_edge(mid, b0)])),
+    ]
+    return net, RoutingProblem(net, specs)
+
+
+class TestBasicDelivery:
+    def test_single_packet_line(self):
+        net = line(5)
+        edges = [net.find_edge(i, i + 1) for i in range(5)]
+        prob = RoutingProblem(net, [PacketSpec(0, 0, 5, Path(net, edges))])
+        result = Engine(prob, NaivePathRouter(), seed=0).run(100)
+        assert result.all_delivered
+        assert result.makespan == 5  # inject at t=0, arrive at t=5
+        assert result.delivery_times == [5]
+        assert result.total_deflections == 0
+
+    def test_conflict_resolved_with_backward_safe_deflection(self):
+        net, prob = two_into_one_problem()
+        trace = TraceRecorder()
+        engine = Engine(prob, NaivePathRouter(), seed=1, observers=[trace.on_event])
+        result = engine.run(100)
+        assert result.all_delivered
+        deflects = trace.of_kind(EventKind.DEFLECT)
+        assert len(deflects) >= 1
+        for event in deflects:
+            assert event.direction is Direction.BACKWARD
+        assert result.unsafe_deflections == 0
+        # Winner arrives at t=2; loser needs 2 extra steps per deflection.
+        assert sorted(t for t in result.delivery_times) == [2, 4]
+
+    def test_deflected_packet_path_stays_valid(self):
+        from repro.paths import is_valid_edge_sequence
+
+        net, prob = two_into_one_problem()
+        engine = Engine(prob, NaivePathRouter(), seed=1)
+
+        def check(engine_, t):
+            for packet in engine_.packets:
+                if packet.is_active:
+                    assert is_valid_edge_sequence(
+                        engine_.net, packet.path, packet.node
+                    )
+
+        engine.post_step_hooks.append(check)
+        assert engine.run(100).all_delivered
+
+    def test_every_active_packet_moves_every_step(self):
+        net, prob = two_into_one_problem()
+        engine = Engine(prob, NaivePathRouter(), seed=1)
+        positions = {}
+
+        def check(engine_, t):
+            for packet in engine_.packets:
+                if packet.is_active:
+                    assert positions.get(packet.packet_id) != packet.node
+                positions[packet.packet_id] = packet.node
+
+        engine.post_step_hooks.append(check)
+        engine.run(100)
+
+
+class TestCapacityModel:
+    def test_opposite_directions_share_an_edge(self):
+        # One packet moves forward on an edge while another is deflected
+        # backward over the same edge in the same step — footnote 1.
+        net = layered_complete([1, 1, 2])
+        a = layered_node(net, 0, 0)
+        mid = layered_node(net, 1, 0)
+        b0 = layered_node(net, 2, 0)
+        specs = [
+            PacketSpec(
+                0, a, b0, Path(net, [net.find_edge(a, mid), net.find_edge(mid, b0)])
+            ),
+        ]
+        prob = RoutingProblem(net, specs)
+        result = Engine(prob, NaivePathRouter(), seed=0).run(50)
+        assert result.all_delivered
+
+    def test_injection_deferred_when_node_is_full(self):
+        # Line network: packet 1 occupies the source node's only free slot
+        # pattern is hard to force on a line; instead use a custom router
+        # that injects two packets at the same node via multi_source.
+        net = line(3)
+        e01 = net.find_edge(0, 1)
+        e12 = net.find_edge(1, 2)
+        specs = [
+            PacketSpec(0, 0, 2, Path(net, [e01, e12])),
+            PacketSpec(1, 0, 2, Path(net, [e01, e12])),
+        ]
+        prob = RoutingProblem(net, specs, allow_multi_source=True)
+        engine = Engine(prob, NaivePathRouter(), seed=0)
+        result = engine.run(50)
+        assert result.all_delivered
+        # Node 0 has a single outgoing slot: the packets must inject on
+        # different steps.
+        injected = sorted(p.injected_at for p in engine.packets)
+        assert injected[0] < injected[1]
+        times = sorted(t for t in result.delivery_times)
+        assert times[0] < times[1]
+
+    def test_desired_edge_must_be_incident(self):
+        net = line(4)
+        edges = [net.find_edge(i, i + 1) for i in range(4)]
+        prob = RoutingProblem(net, [PacketSpec(0, 0, 4, Path(net, edges))])
+
+        class BadRouter(Router):
+            def attach(self, engine):
+                super().attach(engine)
+                engine.mark_all_eligible()
+
+            def desired_move(self, pid, t):
+                return DesiredMove(3, MoveKind.FOLLOW)  # far edge
+
+        engine = Engine(prob, BadRouter(), seed=0)
+        with pytest.raises(SimulationError):
+            engine.run(10)
+
+
+class TestPriorities:
+    def test_higher_priority_always_wins(self):
+        net, prob = two_into_one_problem()
+
+        class Prio(NaivePathRouter):
+            def priority(self, pid, t):
+                return 10 if pid == 1 else 0
+
+        engine = Engine(prob, Prio(), seed=0)
+        result = engine.run(100)
+        # Packet 1 must win the contested edge and arrive first.
+        assert result.delivery_times[1] == 2
+        assert result.delivery_times[0] == 4
+
+    def test_tie_break_is_random_but_seeded(self):
+        net, prob = two_into_one_problem()
+        a = Engine(prob, NaivePathRouter(), seed=7).run(100)
+        b = Engine(prob, NaivePathRouter(), seed=7).run(100)
+        assert a.delivery_times == b.delivery_times
+        winners = set()
+        for seed in range(30):
+            r = Engine(prob, NaivePathRouter(), seed=seed).run(100)
+            winners.add(min(range(2), key=lambda k: r.delivery_times[k]))
+        assert winners == {0, 1}  # both orders occur across seeds
+
+
+class TestEventsAndStatus:
+    def test_trace_event_sequence(self):
+        net = line(2)
+        prob = RoutingProblem(
+            net, [PacketSpec(0, 0, 2, Path(net, [net.find_edge(0, 1), net.find_edge(1, 2)]))]
+        )
+        trace = TraceRecorder()
+        engine = Engine(prob, NaivePathRouter(), seed=0, observers=[trace.on_event])
+        engine.run(10)
+        kinds = [e.kind for e in trace.events]
+        assert kinds[0] is EventKind.INJECT
+        assert kinds.count(EventKind.MOVE) == 2
+        assert kinds[-1] is EventKind.ABSORB
+
+    def test_packet_status_lifecycle(self):
+        net = line(2)
+        prob = RoutingProblem(
+            net, [PacketSpec(0, 0, 2, Path(net, [net.find_edge(0, 1), net.find_edge(1, 2)]))]
+        )
+        engine = Engine(prob, NaivePathRouter(), seed=0)
+        packet = engine.packets[0]
+        assert packet.status is PacketStatus.PENDING
+        engine.step()
+        assert packet.status is PacketStatus.ACTIVE
+        assert packet.injected_at == 0
+        engine.step()
+        assert packet.status is PacketStatus.ABSORBED
+        assert packet.absorbed_at == 2
+        assert engine.done
+
+    def test_trace_recorder_filter(self):
+        trace = TraceRecorder(keep={EventKind.ABSORB})
+        net = line(2)
+        prob = RoutingProblem(
+            net, [PacketSpec(0, 0, 2, Path(net, [net.find_edge(0, 1), net.find_edge(1, 2)]))]
+        )
+        Engine(prob, NaivePathRouter(), seed=0, observers=[trace.on_event]).run(10)
+        assert trace.count(EventKind.ABSORB) == 1
+        assert trace.count(EventKind.MOVE) == 0
+        trace.clear()
+        assert not trace.events
+
+
+class TestRunResult:
+    def test_budget_exhaustion_reported(self):
+        net = line(5)
+        edges = [net.find_edge(i, i + 1) for i in range(5)]
+        prob = RoutingProblem(net, [PacketSpec(0, 0, 5, Path(net, edges))])
+        result = Engine(prob, NaivePathRouter(), seed=0).run(2)
+        assert not result.all_delivered
+        assert result.delivered == 0
+        assert result.makespan == 2
+        assert result.delivery_times == [None]
+
+    def test_slowdown_and_summary(self):
+        net, prob = two_into_one_problem()
+        result = Engine(prob, NaivePathRouter(), seed=1).run(100)
+        assert result.lower_bound == max(prob.congestion, prob.dilation)
+        assert result.slowdown == result.makespan / result.lower_bound
+        assert "ok" in result.summary()
+        assert result.mean_delivery_time == sum(result.delivery_times) / 2

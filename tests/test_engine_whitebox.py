@@ -1,0 +1,113 @@
+"""White-box engine tests for the defensive paths normal runs never hit.
+
+The paper's algorithm (Lemma 2.1) guarantees a safe backward slot always
+exists, so the engine's unsafe fallback and capacity guard are unreachable
+in honest runs (the property suite confirms).  Here we force the engine
+into contrived states to verify the fallbacks behave as specified.
+"""
+
+import pytest
+
+from repro.baselines import NaivePathRouter
+from repro.errors import CapacityError
+from repro.net import LeveledNetworkBuilder, layered_complete, layered_node, line
+from repro.paths import PacketSpec, Path, RoutingProblem
+from repro.sim import Engine, EventKind, PacketStatus, TraceRecorder
+
+
+def activate(engine, packet_id, node):
+    """Force a packet into ACTIVE state at a node (bypassing injection)."""
+    packet = engine.packets[packet_id]
+    packet.status = PacketStatus.ACTIVE
+    packet.injected_at = 0
+    packet.node = node
+    engine.num_active += 1
+    engine.active_ids[packet_id] = None
+    engine.eligible.discard(packet_id)
+
+
+class TestUnsafeFallback:
+    def test_unsafe_backward_deflection_recorded(self):
+        """Two packets contending with no forward-arrival history: the
+        loser must take an *unsafe* backward slot and the engine must say
+        so."""
+        net = layered_complete([2, 1, 2])
+        a0 = layered_node(net, 0, 0)
+        a1 = layered_node(net, 0, 1)
+        mid = layered_node(net, 1, 0)
+        b0 = layered_node(net, 2, 0)
+        f = net.find_edge(mid, b0)
+        specs = [
+            PacketSpec(0, a0, b0, Path(net, [net.find_edge(a0, mid), f])),
+            PacketSpec(1, a1, b0, Path(net, [net.find_edge(a1, mid), f])),
+        ]
+        prob = RoutingProblem(net, specs)
+        trace = TraceRecorder()
+        engine = Engine(prob, NaivePathRouter(), seed=0,
+                        observers=[trace.on_event])
+        engine.eligible.clear()
+        # Teleport both packets to mid with their first hop already "done",
+        # leaving no safe_in history.
+        for pid in (0, 1):
+            engine.packets[pid].path.popleft()
+            activate(engine, pid, mid)
+        engine.safe_in = {}
+        engine.step()
+        assert engine.unsafe_deflections == 1
+        assert trace.count(EventKind.UNSAFE_DEFLECT) == 1
+        # The loser went backward (in-edges preferred even when unsafe).
+        loser = next(
+            p for p in engine.packets if p.node in (a0, a1)
+        )
+        assert loser.backward_moves == 1
+        # Both still finish.
+        result = engine.run(100)
+        assert result.all_delivered
+
+    def test_forward_fallback_when_no_backward_slots(self):
+        """A level-0 conflict has no backward slots at all: the loser is
+        deflected *forward* on a free out-edge (and flagged unsafe)."""
+        builder = LeveledNetworkBuilder("fork")
+        s = builder.add_node(0, "s")
+        t1 = builder.add_node(1, "t1")
+        t2 = builder.add_node(1, "t2")
+        e1 = builder.add_edge(s, t1)
+        builder.add_edge(s, t2)
+        net = builder.build()
+        specs = [
+            PacketSpec(0, s, t1, Path(net, [e1])),
+            PacketSpec(1, s, t1, Path(net, [e1])),
+        ]
+        prob = RoutingProblem(net, specs, allow_multi_source=True)
+        trace = TraceRecorder()
+        engine = Engine(prob, NaivePathRouter(), seed=0,
+                        observers=[trace.on_event])
+        engine.eligible.clear()
+        for pid in (0, 1):
+            activate(engine, pid, s)
+        engine.step()
+        assert engine.unsafe_deflections == 1
+        # The deflected packet sits at t2 with the detour prepended.
+        loser = next(p for p in engine.packets if p.node == t2)
+        assert len(loser.path) == 2  # detour edge + original edge
+
+
+class TestCapacityGuard:
+    def test_capacity_error_when_slots_exhausted(self):
+        """More residents than incident slots is a model violation the
+        engine must refuse loudly (never silently drop a packet)."""
+        net = line(2)
+        e01 = net.find_edge(0, 1)
+        e12 = net.find_edge(1, 2)
+        specs = [
+            PacketSpec(0, 0, 2, Path(net, [e01, e12])),
+            PacketSpec(1, 0, 2, Path(net, [e01, e12])),
+        ]
+        prob = RoutingProblem(net, specs, allow_multi_source=True)
+        engine = Engine(prob, NaivePathRouter(), seed=0)
+        engine.eligible.clear()
+        # Two packets at node 0, which has a single outgoing slot.
+        for pid in (0, 1):
+            activate(engine, pid, 0)
+        with pytest.raises(CapacityError):
+            engine.step()

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process with patched ``sys.argv`` (small
+arguments to keep runtimes down) and must complete without raising.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    argv = [str(EXAMPLES / name)] + [str(a) for a in args]
+    old = sys.argv
+    sys.argv = argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", 1)
+    out = capsys.readouterr().out
+    assert "all invariants held" in out
+    assert "store-and-forward" in out
+
+
+def test_mesh_routing(capsys):
+    run_example("mesh_routing.py", 8, 20, 1)
+    out = capsys.readouterr().out
+    assert "four-phase mesh routing" in out
+
+
+def test_optical_butterfly(capsys):
+    run_example("optical_butterfly.py", 4, 1)
+    out = capsys.readouterr().out
+    assert "sharpening hot spot" in out
+
+
+def test_frame_anatomy(capsys):
+    run_example("frame_anatomy.py", 16, 2)
+    out = capsys.readouterr().out
+    assert "frame schedule" in out
+    assert "all" in out and "delivered" in out
+
+
+def test_hypercube_two_phase(capsys):
+    run_example("hypercube_two_phase.py", 5, 8, 1)
+    out = capsys.readouterr().out
+    assert "two-phase hypercube routing" in out
+
+
+def test_tree_routing(capsys):
+    run_example("tree_routing.py", 4, 6, 1)
+    out = capsys.readouterr().out
+    assert "two-phase tree routing" in out
+
+
+def test_arbitrary_dag(capsys):
+    run_example("arbitrary_dag.py", 30, 15, 6, 1)
+    out = capsys.readouterr().out
+    assert "unrolled DAG" in out
+    assert "all invariants held" in out

@@ -1,0 +1,72 @@
+"""Unit tests for frontier-set assignment and Lemma 2.2 measurement."""
+
+import pytest
+
+from repro.core import (
+    assign_frontier_sets,
+    expected_set_congestion,
+    frontier_set_congestions,
+    max_frontier_set_congestion,
+    resample_until_bounded,
+    set_sizes,
+)
+from repro.errors import ParameterError
+
+
+class TestAssignment:
+    def test_every_packet_gets_a_set(self, bf4_random_problem):
+        set_of = assign_frontier_sets(bf4_random_problem, 4, seed=0)
+        assert len(set_of) == bf4_random_problem.num_packets
+        assert all(0 <= s < 4 for s in set_of)
+
+    def test_reproducible(self, bf4_random_problem):
+        a = assign_frontier_sets(bf4_random_problem, 4, seed=9)
+        b = assign_frontier_sets(bf4_random_problem, 4, seed=9)
+        assert a == b
+
+    def test_single_set(self, bf4_random_problem):
+        set_of = assign_frontier_sets(bf4_random_problem, 1, seed=0)
+        assert set(set_of) == {0}
+
+    def test_bad_num_sets(self, bf4_random_problem):
+        with pytest.raises(ParameterError):
+            assign_frontier_sets(bf4_random_problem, 0)
+
+
+class TestCongestions:
+    def test_per_set_congestion_partitions_total(self, bf4_random_problem):
+        num_sets = 3
+        set_of = assign_frontier_sets(bf4_random_problem, num_sets, seed=1)
+        per_set = frontier_set_congestions(bf4_random_problem, set_of, num_sets)
+        assert len(per_set) == num_sets
+        assert max(per_set) <= bf4_random_problem.congestion
+        # Each set's congestion is at least ceil(C / num_sets) on SOME edge
+        # only in aggregate: the sum over sets on the max edge equals C.
+        assert sum(per_set) >= bf4_random_problem.congestion
+
+    def test_single_set_equals_total(self, bf4_random_problem):
+        set_of = [0] * bf4_random_problem.num_packets
+        assert (
+            max_frontier_set_congestion(bf4_random_problem, set_of, 1)
+            == bf4_random_problem.congestion
+        )
+
+    def test_set_sizes(self):
+        assert set_sizes([0, 1, 1, 2, 1], 3) == [1, 3, 1]
+
+    def test_expected(self):
+        assert expected_set_congestion(12, 4) == 3.0
+        with pytest.raises(ParameterError):
+            expected_set_congestion(12, 0)
+
+
+class TestResample:
+    def test_resample_meets_bound(self, bf4_random_problem):
+        set_of = resample_until_bounded(bf4_random_problem, 4, bound=2, seed=0)
+        assert max_frontier_set_congestion(bf4_random_problem, set_of, 4) <= 2
+
+    def test_impossible_bound_raises(self, bf4_random_problem):
+        with pytest.raises(ParameterError):
+            resample_until_bounded(
+                bf4_random_problem, 1, bound=0.5, seed=0, max_attempts=3
+            )

@@ -1,0 +1,59 @@
+"""Golden regression tests: exact outcomes for pinned seeds.
+
+These freeze the *behavior* of the stack — topology generation, workload
+sampling, path selection, frontier-set draws, excitation coins, engine
+tie-breaking — so that any unintended semantic change (a reordered RNG
+draw, a different iteration order, an off-by-one in the clock) shows up as
+a failing golden value rather than a silent drift.
+
+If a change is *intentional* (e.g. a new RNG consumer in the hot loop),
+re-pin the constants and say so in the commit message.
+"""
+
+import pytest
+
+from repro.experiments import (
+    butterfly_hotrow_instance,
+    butterfly_random_instance,
+    deep_random_instance,
+    run_frontier_trial,
+)
+
+
+class TestGoldenInstances:
+    def test_butterfly_random_instance_shape(self):
+        problem = butterfly_random_instance(4, seed=1234)
+        assert problem.num_packets == 16
+        assert (problem.congestion, problem.dilation) == (3, 4)
+
+    def test_hotrow_instance_shape(self):
+        problem = butterfly_hotrow_instance(5, 12, seed=1234)
+        assert problem.num_packets == 12
+        assert problem.dilation == 5
+        assert 6 <= problem.congestion <= 12
+
+    def test_deep_instance_shape(self):
+        problem = deep_random_instance(20, 5, 10, seed=1234)
+        assert problem.net.depth == 20
+        assert problem.num_packets == 10
+
+
+class TestGoldenRuns:
+    def test_frontier_run_is_pinned(self):
+        problem = butterfly_random_instance(4, seed=1234)
+        record = run_frontier_trial(problem, seed=77, m=8, w_factor=8.0)
+        result = record.result
+        assert result.all_delivered
+        # Golden values: re-pin deliberately if semantics change.
+        assert result.makespan == 7686
+        assert result.total_deflections == 3
+        assert result.steps_executed + result.steps_skipped == result.makespan
+
+    def test_two_seeds_differ(self):
+        problem = butterfly_random_instance(4, seed=1234)
+        a = run_frontier_trial(problem, seed=77, m=8, w_factor=8.0).result
+        b = run_frontier_trial(problem, seed=78, m=8, w_factor=8.0).result
+        # Different coins, (almost surely) different micro-schedules.
+        assert a.delivery_times != b.delivery_times or (
+            a.total_deflections != b.total_deflections
+        )

@@ -1,0 +1,108 @@
+"""Tests for the invariant auditor itself (detection and reporting)."""
+
+import pytest
+
+from repro.core import (
+    AlgorithmParams,
+    AuditReport,
+    FrontierFrameRouter,
+    InvariantAuditor,
+    Violation,
+    audited_run,
+)
+from repro.errors import InvariantViolation
+from repro.sim import Engine
+
+
+class TestReport:
+    def test_empty_report_is_ok(self):
+        report = AuditReport()
+        assert report.ok
+        assert "held" in report.summary()
+
+    def test_counts_by_invariant(self):
+        report = AuditReport(
+            violations=[
+                Violation("I_c", 3, "x"),
+                Violation("I_c", 4, "y"),
+                Violation("I_e", 5, "z"),
+            ]
+        )
+        assert not report.ok
+        assert report.count("I_c") == 2
+        assert report.count("I_e") == 1
+        assert report.count("I_a") == 0
+        assert "I_c:2" in report.summary()
+
+    def test_violation_str(self):
+        v = Violation("I_b", 7, "something broke")
+        assert "I_b" in str(v) and "t=7" in str(v)
+
+
+class TestDetection:
+    def test_impossible_congestion_bound_is_reported(self, bf4_random_problem):
+        params = AlgorithmParams.practical(
+            bf4_random_problem.congestion,
+            bf4_random_problem.net.depth,
+            bf4_random_problem.num_packets,
+            set_congestion_target=2,
+        )
+        router = FrontierFrameRouter(params, seed=0)
+        engine = Engine(bf4_random_problem, router, seed=1)
+        # Bound of 0 cannot hold: every packet's set has congestion >= 1.
+        auditor = InvariantAuditor(router, congestion_bound=0.0)
+        result, report = audited_run(engine, auditor)
+        assert result.all_delivered
+        assert report.count("I_e") > 0
+        # ... while the conservation half still holds.
+        assert report.count("I_e_conservation") == 0
+
+    def test_strict_mode_raises(self, bf4_random_problem):
+        params = AlgorithmParams.practical(
+            bf4_random_problem.congestion,
+            bf4_random_problem.net.depth,
+            bf4_random_problem.num_packets,
+        )
+        router = FrontierFrameRouter(params, seed=0)
+        engine = Engine(bf4_random_problem, router, seed=1)
+        auditor = InvariantAuditor(router, congestion_bound=0.0, strict=True)
+        auditor.install(engine)
+        with pytest.raises(InvariantViolation):
+            engine.run(params.total_steps)
+
+    def test_checks_actually_run(self, bf4_random_problem):
+        rec = None
+        params = AlgorithmParams.practical(
+            bf4_random_problem.congestion,
+            bf4_random_problem.net.depth,
+            bf4_random_problem.num_packets,
+            m=6,
+            w=30,
+        )
+        router = FrontierFrameRouter(params, seed=0)
+        engine = Engine(bf4_random_problem, router, seed=1)
+        auditor = InvariantAuditor(router)
+        result, report = audited_run(engine, auditor)
+        assert result.all_delivered
+        for name in ("I_a", "I_c", "I_d", "I_e", "I_f"):
+            assert report.checks_run[name] > 0, name
+        assert report.max_set_congestion_seen >= 1
+
+    def test_sampling_intervals_respected(self, bf4_random_problem):
+        params = AlgorithmParams.practical(
+            bf4_random_problem.congestion,
+            bf4_random_problem.net.depth,
+            bf4_random_problem.num_packets,
+            m=6,
+            w=30,
+        )
+        router = FrontierFrameRouter(params, seed=0)
+        engine = Engine(bf4_random_problem, router, seed=1)
+        sparse = InvariantAuditor(
+            router, check_paths_every=50, check_congestion_every=50
+        )
+        result, report = audited_run(engine, sparse)
+        dense_engine = Engine(
+            bf4_random_problem, FrontierFrameRouter(params, seed=0), seed=1
+        )
+        assert report.checks_run["I_e"] < result.steps_executed

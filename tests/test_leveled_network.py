@@ -1,0 +1,194 @@
+"""Unit tests for the LeveledNetwork core class and builder."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import LeveledNetwork, LeveledNetworkBuilder
+from repro.types import Direction
+
+
+def build_tiny():
+    """Two levels: a -> {b, c}, plus b', with edges a-b, a-c."""
+    b = LeveledNetworkBuilder("tiny")
+    a = b.add_node(0, "a")
+    bb = b.add_node(1, "b")
+    cc = b.add_node(1, "c")
+    b.add_edge(a, bb)
+    b.add_edge(a, cc)
+    return b.build(), a, bb, cc
+
+
+class TestBuilder:
+    def test_dense_node_ids(self):
+        b = LeveledNetworkBuilder()
+        assert b.add_node(0) == 0
+        assert b.add_node(1) == 1
+        assert b.add_node(0) == 2
+
+    def test_add_nodes_bulk(self):
+        b = LeveledNetworkBuilder()
+        ids = b.add_nodes(0, 3)
+        assert ids == [0, 1, 2]
+        b.add_nodes(1, 1)
+        assert b.num_nodes == 4
+
+    def test_edge_must_join_consecutive_levels(self):
+        b = LeveledNetworkBuilder()
+        a = b.add_node(0)
+        c = b.add_node(2)
+        b.add_node(1)
+        with pytest.raises(TopologyError):
+            b.add_edge(a, c)
+
+    def test_edge_orientation_enforced(self):
+        b = LeveledNetworkBuilder()
+        a = b.add_node(0)
+        bb = b.add_node(1)
+        with pytest.raises(TopologyError):
+            b.add_edge(bb, a)  # backwards
+
+    def test_duplicate_label_rejected(self):
+        b = LeveledNetworkBuilder()
+        b.add_node(0, "x")
+        with pytest.raises(TopologyError):
+            b.add_node(1, "x")
+
+    def test_unknown_label_lookup(self):
+        b = LeveledNetworkBuilder()
+        with pytest.raises(TopologyError):
+            b.node("nope")
+
+    def test_negative_level_rejected(self):
+        b = LeveledNetworkBuilder()
+        with pytest.raises(TopologyError):
+            b.add_node(-1)
+
+    def test_add_edge_by_labels(self):
+        b = LeveledNetworkBuilder()
+        b.add_node(0, "s")
+        b.add_node(1, "t")
+        e = b.add_edge_by_labels("s", "t")
+        net = b.build()
+        assert net.edge_endpoints(e) == (0, 1)
+
+
+class TestNetworkBasics:
+    def test_counts(self):
+        net, *_ = build_tiny()
+        assert net.num_nodes == 3
+        assert net.num_edges == 2
+        assert net.depth == 1
+        assert net.num_levels == 2
+
+    def test_levels(self):
+        net, a, bb, cc = build_tiny()
+        assert net.level(a) == 0
+        assert net.level(bb) == 1
+        assert net.nodes_at_level(0) == (a,)
+        assert set(net.nodes_at_level(1)) == {bb, cc}
+        assert net.level_sizes() == (1, 2)
+
+    def test_adjacency(self):
+        net, a, bb, cc = build_tiny()
+        assert len(net.out_edges(a)) == 2
+        assert net.in_edges(a) == ()
+        assert net.out_edges(bb) == ()
+        assert len(net.in_edges(bb)) == 1
+        assert net.degree(a) == 2
+        assert net.out_degree(a) == 2
+        assert net.in_degree(bb) == 1
+
+    def test_endpoints_and_other(self):
+        net, a, bb, cc = build_tiny()
+        e = net.find_edge(a, bb)
+        assert net.edge_src(e) == a
+        assert net.edge_dst(e) == bb
+        assert net.other_endpoint(e, a) == bb
+        assert net.other_endpoint(e, bb) == a
+        with pytest.raises(TopologyError):
+            net.other_endpoint(e, cc)
+
+    def test_find_edge_missing(self):
+        net, a, bb, cc = build_tiny()
+        with pytest.raises(TopologyError):
+            net.find_edge(bb, cc)
+        assert not net.has_edge(bb, cc)
+        assert net.has_edge(a, bb)
+
+    def test_traversal_direction(self):
+        net, a, bb, _ = build_tiny()
+        e = net.find_edge(a, bb)
+        assert net.traversal_direction(e, a) is Direction.FORWARD
+        assert net.traversal_direction(e, bb) is Direction.BACKWARD
+
+    def test_labels(self):
+        net, a, bb, cc = build_tiny()
+        assert net.label(a) == "a"
+        assert net.node_by_label("b") == bb
+        with pytest.raises(TopologyError):
+            net.node_by_label("zzz")
+
+    def test_neighbors(self):
+        net, a, bb, cc = build_tiny()
+        assert set(net.forward_neighbors(a)) == {bb, cc}
+        assert net.backward_neighbors(bb) == (a,)
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(TopologyError):
+            LeveledNetwork([0, 2], [])
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            LeveledNetwork([], [])
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            LeveledNetwork([0, 1], [(1, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            LeveledNetwork([0, 1], [(0, 5)])
+
+    def test_describe(self):
+        net, *_ = build_tiny()
+        text = net.describe()
+        assert "L=1" in text and "|V|=3" in text
+
+
+class TestReachability:
+    def test_forward_reachable(self, bf3):
+        src = bf3.nodes_at_level(0)[0]
+        reach = bf3.forward_reachable(src)
+        # From any butterfly input, all 8 outputs are reachable.
+        tops = [v for v in reach if bf3.level(v) == 3]
+        assert len(tops) == 8
+        assert src in reach
+
+    def test_backward_reachable(self, bf3):
+        dst = bf3.nodes_at_level(3)[0]
+        reach = bf3.backward_reachable(dst)
+        bottoms = [v for v in reach if bf3.level(v) == 0]
+        assert len(bottoms) == 8
+
+    def test_undirected_distances(self, line8):
+        dist = line8.undirected_distances(line8.nodes_at_level(0)[0])
+        assert dist == list(range(9))
+
+    def test_undirected_distances_middle(self, line8):
+        mid = line8.nodes_at_level(4)[0]
+        dist = line8.undirected_distances(mid)
+        assert dist[line8.nodes_at_level(0)[0]] == 4
+        assert dist[line8.nodes_at_level(8)[0]] == 4
+
+
+class TestParallelEdges:
+    def test_parallel_edges_allowed(self):
+        b = LeveledNetworkBuilder()
+        a = b.add_node(0)
+        c = b.add_node(1)
+        e1 = b.add_edge(a, c)
+        e2 = b.add_edge(a, c)
+        net = b.build()
+        assert net.num_edges == 2
+        assert set(net.find_edges(a, c)) == {e1, e2}
+        assert net.find_edge(a, c) == e1  # first id

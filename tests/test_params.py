@@ -1,0 +1,116 @@
+"""Unit tests for Section 2.1 parameters (theory-exact and practical)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AlgorithmParams,
+    compute_theory_values,
+    ln_ln_factor,
+    polylog_exponent_check,
+    theorem_success_probability,
+    theorem_time_bound,
+)
+from repro.errors import ParameterError
+
+
+class TestTheoryValues:
+    def test_reconstructed_formulas(self):
+        C, L, N = 4, 8, 32
+        tv = compute_theory_values(C, L, N)
+        lnln = math.log(L * N)
+        assert tv.a == pytest.approx(2 * math.e**3 / lnln)
+        assert tv.m == pytest.approx(lnln**2 + 5)
+        assert tv.q == pytest.approx(1 / (tv.m**2 * lnln))
+        assert tv.p0 == pytest.approx(1 - 1 / (2 * L * N))
+        amc = tv.a * tv.m * C
+        assert tv.amc == pytest.approx(amc)
+        assert tv.p1 == pytest.approx(1 / ((amc + L) * 2 * amc * L * N**2))
+        assert tv.w == pytest.approx(
+            4 * math.e * tv.m**2 * lnln * math.log(1 / tv.p1) + 3 * tv.m + 1
+        )
+        assert tv.total_phases == pytest.approx(amc + L)
+        assert tv.total_steps == pytest.approx((amc + L) * tv.m * tv.w)
+
+    def test_lemma_4_3_inequality(self):
+        # (1 - mq)^{m ln(LN)} >= 1/(2e): the excited packet's success bound.
+        for C, L, N in [(2, 4, 8), (8, 16, 128), (64, 32, 1024)]:
+            tv = compute_theory_values(C, L, N)
+            lnln = math.log(L * N)
+            prob = (1 - tv.m * tv.q) ** (tv.m * lnln)
+            assert prob >= 1 / (2 * math.e)
+
+    def test_theorem_426_success_probability(self):
+        # p(amC + L) >= 1 - 1/(LN) — the theorem's probability chain.
+        for C, L, N in [(2, 4, 8), (4, 8, 64), (16, 16, 256)]:
+            assert theorem_success_probability(C, L, N) >= 1 - 1 / (L * N)
+
+    def test_time_bound_is_polylog_of_c_plus_l(self):
+        # (amC + L)·m·w / (C + L) must be bounded by ln^9(LN) up to a
+        # constant (the reconstructed constant is ~8e^4·ln(1/p1)/ln ≈ 10^6):
+        # check the shape empirically across a size sweep.
+        for C, L, N in [(2, 8, 16), (8, 32, 256), (32, 128, 4096)]:
+            assert theorem_time_bound(C, L, N) > 0
+            lnln = math.log(L * N)
+            factor = polylog_exponent_check(C, L, N)
+            assert factor <= 1e6 * lnln**9
+            # ... and is genuinely large (the paper admits impracticality).
+            assert factor > lnln**4
+
+    def test_tiny_instances_clamped(self):
+        assert ln_ln_factor(1, 1) == 1.0
+        tv = compute_theory_values(1, 1, 1)
+        assert tv.m >= 5
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            compute_theory_values(0, 4, 4)
+        with pytest.raises(ParameterError):
+            ln_ln_factor(0, 4)
+
+
+class TestAlgorithmParams:
+    def test_theory_exact_integers(self):
+        params = AlgorithmParams.theory_exact(2, 4, 8)
+        tv = params.theory
+        assert params.m == math.ceil(tv.m)
+        assert params.w == math.ceil(tv.w)
+        assert params.num_sets == math.ceil(tv.a * 2)
+        assert params.mode == "theory"
+
+    def test_practical_defaults(self):
+        params = AlgorithmParams.practical(6, 20, 50)
+        assert params.mode == "practical"
+        assert params.num_sets >= math.ceil(6 / params.set_congestion_bound)
+        assert params.m >= 6
+        assert params.w >= 4 * params.m
+        assert 0 < params.q <= 1
+
+    def test_schedule_arithmetic(self):
+        params = AlgorithmParams.practical(4, 10, 16, m=6, w=24)
+        assert params.steps_per_phase == 144
+        assert params.total_phases == params.num_sets * 6 + 10
+        assert params.total_steps == params.total_phases * 144
+
+    def test_oversplit_increases_sets(self):
+        lean = AlgorithmParams.practical(9, 10, 16, oversplit=1.0)
+        fat = AlgorithmParams.practical(9, 10, 16, oversplit=3.0)
+        assert fat.num_sets >= 3 * lean.num_sets - 3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AlgorithmParams.practical(0, 4, 4)
+        with pytest.raises(ParameterError):
+            AlgorithmParams.practical(4, 4, 4, m=2)
+        with pytest.raises(ParameterError):
+            AlgorithmParams.practical(4, 4, 4, q=1.5)
+        with pytest.raises(ParameterError):
+            AlgorithmParams.practical(4, 4, 4, oversplit=0.5)
+        with pytest.raises(ParameterError):
+            AlgorithmParams.practical(4, 4, 4, set_congestion_target=0.2)
+
+    def test_describe_keys(self):
+        desc = AlgorithmParams.practical(4, 8, 16).describe()
+        for key in ("num_sets", "m", "w", "q", "total_steps"):
+            assert key in desc

@@ -1,0 +1,88 @@
+"""Property-based tests of the engine's conservation laws.
+
+The key identity for path-following hot-potato routing with backward
+deflections: a delivered packet traverses exactly
+``len(preselected path) + 2·(deflections)`` edges — every deflection moves
+it one level back and must be undone by one extra forward move.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaivePathRouter
+from repro.net import random_leveled
+from repro.paths import select_paths_random
+from repro.sim import Engine
+from repro.workloads import random_many_to_one
+
+
+@st.composite
+def routed_problem(draw):
+    """A random leveled network plus a random many-to-one problem."""
+    depth = draw(st.integers(min_value=3, max_value=10))
+    width = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    net = random_leveled(
+        [width] * (depth + 1),
+        edge_probability=0.5,
+        seed=seed,
+        min_out_degree=1,
+        min_in_degree=1,
+    )
+    max_packets = sum(len(net.nodes_at_level(l)) for l in range(depth))
+    num = draw(st.integers(min_value=1, max_value=min(12, max_packets)))
+    rng = np.random.default_rng(seed + 1)
+    workload = random_many_to_one(net, num, seed=rng)
+    return select_paths_random(net, workload.endpoints, seed=seed + 2)
+
+
+@given(routed_problem(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_naive_routing_conservation_laws(problem, engine_seed):
+    engine = Engine(problem, NaivePathRouter(), seed=engine_seed)
+    budget = 200 * (problem.congestion + problem.dilation) + 500
+    result = engine.run(budget)
+
+    # Liveness: naive hot-potato on a DAG-with-backtracking always delivers
+    # within a generous budget on these sizes.
+    assert result.all_delivered
+
+    # Packet conservation: statuses are consistent.
+    assert result.delivered == problem.num_packets
+
+    for packet, spec in zip(engine.packets, problem):
+        # Deflections are all backward (safe ones are backward by
+        # construction; the engine prefers backward slots).
+        assert packet.node == spec.destination
+        assert not packet.path
+        # Move-count identity (only exact when every deflection was
+        # backward; forward fallbacks would break it).
+        if packet.unsafe_deflections == 0:
+            assert packet.moves == len(spec.path) + 2 * packet.deflections
+        assert packet.backward_moves == packet.deflections
+        assert packet.absorbed_at is not None
+        assert packet.absorbed_at >= packet.injected_at + len(spec.path)
+
+    # Delivery times bound the makespan.
+    assert result.makespan == max(result.delivery_times)
+
+
+@given(routed_problem(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_naive_deflections_are_safe(problem, engine_seed):
+    """With injections in isolation, Lemma 2.1 holds mechanically."""
+    engine = Engine(problem, NaivePathRouter(), seed=engine_seed)
+    budget = 200 * (problem.congestion + problem.dilation) + 500
+    result = engine.run(budget)
+    assert result.all_delivered
+    assert result.unsafe_deflections == 0
+
+
+@given(routed_problem())
+@settings(max_examples=20, deadline=None)
+def test_engine_determinism(problem):
+    a = Engine(problem, NaivePathRouter(), seed=99).run(10**5)
+    b = Engine(problem, NaivePathRouter(), seed=99).run(10**5)
+    assert a.delivery_times == b.delivery_times
+    assert a.total_moves == b.total_moves

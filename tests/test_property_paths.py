@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for paths and congestion accounting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import butterfly, butterfly_node, random_leveled
+from repro.paths import (
+    Path,
+    bit_fixing_path,
+    edge_congestion_counts,
+    is_valid_edge_sequence,
+    max_edge_congestion,
+    per_set_congestion,
+    random_monotone_path,
+)
+
+
+@st.composite
+def leveled_net(draw):
+    """A small random leveled network with guaranteed forward routes."""
+    depth = draw(st.integers(min_value=2, max_value=8))
+    widths = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=depth + 1,
+            max_size=depth + 1,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_leveled(
+        widths,
+        edge_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        seed=seed,
+        min_out_degree=1,
+        min_in_degree=1,
+    )
+
+
+@given(leveled_net(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_monotone_paths_are_valid(net, seed):
+    """Any sampled monotone path is a valid path in the paper's sense."""
+    rng = np.random.default_rng(seed)
+    src = net.nodes_at_level(0)[int(rng.integers(0, len(net.nodes_at_level(0))))]
+    reach = sorted(net.forward_reachable(src) - {src})
+    if not reach:
+        return
+    dst = reach[int(rng.integers(0, len(reach)))]
+    path = random_monotone_path(net, src, dst, rng)
+    assert path.source == src
+    assert path.destination == dst
+    assert is_valid_edge_sequence(net, path.edges, src)
+    # Valid paths climb exactly one level per edge.
+    assert len(path) == net.level(dst) - net.level(src)
+    levels = [net.level(v) for v in path.nodes]
+    assert levels == list(range(net.level(src), net.level(dst) + 1))
+
+
+@given(leveled_net(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_subpaths_of_valid_paths_are_valid(net, data):
+    """Section 2.2: any subpath of a valid path is a valid path."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+    src = net.nodes_at_level(0)[0]
+    reach = sorted(net.forward_reachable(src) - {src})
+    if not reach:
+        return
+    dst = max(reach, key=net.level)
+    path = random_monotone_path(net, src, dst, rng)
+    if len(path) < 2:
+        return
+    start = data.draw(st.integers(0, len(path) - 1))
+    stop = data.draw(st.integers(start + 1, len(path)))
+    sub = path.edges[start:stop]
+    assert is_valid_edge_sequence(net, sub, path.nodes[start])
+
+
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_bit_fixing_is_unique_and_correct(dim, seed):
+    """The bit-fixing path visits row prefixes of the destination."""
+    net = butterfly(dim)
+    rng = np.random.default_rng(seed)
+    rows = 1 << dim
+    src_row = int(rng.integers(0, rows))
+    dst_row = int(rng.integers(0, rows))
+    path = bit_fixing_path(
+        net, butterfly_node(net, 0, src_row), butterfly_node(net, dim, dst_row)
+    )
+    assert len(path) == dim
+    # After level l, the top l bits agree with the destination.
+    for level, node in enumerate(path.nodes):
+        row = net.label(node)[2]
+        fixed_mask = 0
+        for b in range(level):
+            fixed_mask |= 1 << (dim - 1 - b)
+        assert (row ^ dst_row) & fixed_mask == 0
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=19), max_size=8),
+        max_size=12,
+    )
+)
+@settings(max_examples=60)
+def test_congestion_counts_are_consistent(edge_lists):
+    """Sum of counts equals total edges listed; max bounds every entry."""
+    counts = edge_congestion_counts(edge_lists, 20)
+    assert sum(counts) == sum(len(lst) for lst in edge_lists)
+    peak = max_edge_congestion(edge_lists, 20)
+    assert all(c <= peak for c in counts)
+    if edge_lists and any(edge_lists):
+        assert peak >= 1
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=6),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=60)
+def test_per_set_congestion_partition_property(edge_lists, num_sets, seed):
+    """Set congestions sum to at least the total on every edge.
+
+    For every edge, the per-set counts partition the total count, so the
+    max over sets is at least total/num_sets and at most the total.
+    """
+    rng = np.random.default_rng(seed)
+    set_of = [int(s) for s in rng.integers(0, num_sets, size=len(edge_lists))]
+    per_set = per_set_congestion(edge_lists, set_of, num_sets, 10)
+    total = max_edge_congestion(edge_lists, 10)
+    assert max(per_set) <= total
+    assert sum(per_set) >= total  # the partition covers the max edge
+
+
+@given(leveled_net())
+@settings(max_examples=30, deadline=None)
+def test_path_node_at_level_agrees_with_nodes(net):
+    """node_at_level is exactly the node sequence indexed by level."""
+    rng = np.random.default_rng(0)
+    src = net.nodes_at_level(0)[0]
+    reach = sorted(net.forward_reachable(src) - {src})
+    if not reach:
+        return
+    dst = max(reach, key=net.level)
+    path = random_monotone_path(net, src, dst, rng)
+    for node in path.nodes:
+        assert path.node_at_level(net, net.level(node)) == node
+    assert path.node_at_level(net, net.level(dst) + 1) is None

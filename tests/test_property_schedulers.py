@@ -1,0 +1,85 @@
+"""Property-based tests for the buffered schedulers and shared bounds.
+
+Key theorems encoded here:
+
+* any scheduler's makespan is at least ``max(C, D)`` — ``D`` because some
+  packet must make that many hops, ``C`` because the busiest edge
+  transmits at most one packet per step in its forward direction;
+* bounded buffers never overflow and never deadlock on a leveled DAG;
+* unbounded FIFO store-and-forward on a leveled network finishes within
+  ``C·D + C + D`` comfortably (the classic crude bound).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BoundedBufferScheduler,
+    NaivePathRouter,
+    QueuePolicy,
+    StoreForwardScheduler,
+)
+from repro.net import random_leveled
+from repro.paths import select_paths_random
+from repro.sim import Engine
+from repro.workloads import random_many_to_one
+
+
+@st.composite
+def routed_problem(draw):
+    depth = draw(st.integers(min_value=2, max_value=8))
+    width = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    net = random_leveled(
+        [width] * (depth + 1),
+        edge_probability=0.5,
+        seed=seed,
+        min_out_degree=1,
+        min_in_degree=1,
+    )
+    max_packets = min(10, width * depth)
+    num = draw(st.integers(min_value=1, max_value=max_packets))
+    workload = random_many_to_one(net, num, seed=seed + 1)
+    return select_paths_random(net, workload.endpoints, seed=seed + 2)
+
+
+@given(routed_problem(), st.sampled_from(list(QueuePolicy)))
+@settings(max_examples=40, deadline=None)
+def test_store_forward_bounds(problem, policy):
+    result = StoreForwardScheduler(problem, policy=policy, seed=0).run()
+    assert result.all_delivered
+    lower = max(problem.congestion, problem.dilation)
+    assert result.makespan >= lower
+    assert result.makespan <= (
+        (problem.congestion + 1) * (problem.dilation + 1) + 8
+    )
+    # Work conservation: total moves equal total path length.
+    assert result.total_moves == sum(len(spec.path) for spec in problem)
+
+
+@given(routed_problem(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_bounded_buffers_drain_and_respect_capacity(problem, k):
+    scheduler = BoundedBufferScheduler(problem, buffer_size=k, seed=0)
+    guard = 0
+    while not scheduler.done and guard < 20000:
+        scheduler.step()
+        guard += 1
+        assert all(len(buf) <= k for buf in scheduler.buffers.values())
+    assert scheduler.done  # no deadlock on a leveled DAG
+    lower = max(problem.congestion, problem.dilation)
+    assert scheduler.t + 1 >= lower
+
+
+@given(routed_problem())
+@settings(max_examples=25, deadline=None)
+def test_hot_potato_makespan_at_least_congestion(problem):
+    """Every packet holding edge e on its path must eventually pop it
+    (safe deflections only move edges between path lists), so e sees at
+    least C forward traversals — one per step at most."""
+    result = Engine(problem, NaivePathRouter(), seed=1).run(
+        400 * (problem.congestion + problem.dilation) + 500
+    )
+    assert result.all_delivered
+    assert result.makespan >= max(problem.congestion, problem.dilation)

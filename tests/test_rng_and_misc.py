@@ -1,0 +1,177 @@
+"""Tests for rng utilities, types, conversion, and packet bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.net import butterfly, from_networkx, line, to_networkx, to_networkx_multi, fat_tree
+from repro.paths import PacketSpec, Path
+from repro.rng import (
+    choice,
+    coin,
+    iter_batches,
+    make_rng,
+    shuffled,
+    spawn_rngs,
+    stable_hash_seed,
+    trial_seeds,
+)
+from repro.sim.packet import Packet, PacketStatus
+from repro.types import Direction, MoveKind
+
+
+class TestRng:
+    def test_make_rng_accepts_everything(self):
+        g = make_rng(5)
+        assert make_rng(g) is g
+        assert make_rng(None) is not None
+        assert make_rng(np.random.SeedSequence(3)) is not None
+
+    def test_spawn_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.integers(0, 1 << 30) != b.integers(0, 1 << 30)
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_trial_seeds_deterministic(self):
+        assert trial_seeds(42, 3) == trial_seeds(42, 3)
+        assert len(set(trial_seeds(42, 10))) == 10
+
+    def test_coin_extremes(self):
+        rng = make_rng(0)
+        assert not coin(rng, 0.0)
+        assert coin(rng, 1.0)
+        hits = sum(coin(rng, 0.5) for _ in range(2000))
+        assert 800 < hits < 1200
+
+    def test_choice(self):
+        rng = make_rng(0)
+        assert choice(rng, [7]) == 7
+        assert choice(rng, [1, 2, 3]) in (1, 2, 3)
+        with pytest.raises(ValueError):
+            choice(rng, [])
+
+    def test_shuffled_is_permutation(self):
+        rng = make_rng(0)
+        out = shuffled(rng, range(10))
+        assert sorted(out) == list(range(10))
+
+    def test_iter_batches(self):
+        assert [list(b) for b in iter_batches(list(range(5)), 2)] == [
+            [0, 1],
+            [2, 3],
+            [4],
+        ]
+        with pytest.raises(ValueError):
+            list(iter_batches([1], 0))
+
+    def test_stable_hash_seed(self):
+        assert stable_hash_seed(1, 2) == stable_hash_seed(1, 2)
+        assert stable_hash_seed(1, 2) != stable_hash_seed(2, 1)
+        assert stable_hash_seed(None) >= 0
+
+
+class TestDirection:
+    def test_opposite(self):
+        assert Direction.FORWARD.opposite is Direction.BACKWARD
+        assert Direction.BACKWARD.opposite is Direction.FORWARD
+
+
+class TestNetworkxConversion:
+    def test_roundtrip(self):
+        net = butterfly(3)
+        graph = to_networkx(net)
+        assert graph.number_of_nodes() == net.num_nodes
+        back = from_networkx(graph, name="roundtrip")
+        assert back.depth == net.depth
+        assert back.num_edges == net.num_edges
+        assert back.level_sizes() == net.level_sizes()
+
+    def test_multigraph_keeps_parallel_edges(self):
+        net = fat_tree(3)
+        multi = to_networkx_multi(net)
+        assert multi.number_of_edges() == net.num_edges
+        simple = to_networkx(net)
+        assert simple.number_of_edges() < net.num_edges
+
+    def test_from_networkx_requires_levels(self):
+        import networkx as nx
+
+        from repro.errors import TopologyError
+
+        g = nx.DiGraph()
+        g.add_node("a")
+        with pytest.raises(TopologyError):
+            from_networkx(g)
+
+
+class TestPacketBookkeeping:
+    def make(self):
+        net = line(4)
+        edges = [net.find_edge(i, i + 1) for i in range(4)]
+        spec = PacketSpec(0, 0, 4, Path(net, edges))
+        return net, Packet(spec), edges
+
+    def test_follow_pops(self):
+        net, packet, edges = self.make()
+        packet.apply_follow(net, edges[0])
+        assert packet.node == 1
+        assert list(packet.path) == edges[1:]
+        assert packet.last_direction is Direction.FORWARD
+        assert packet.moves == 1
+
+    def test_follow_wrong_edge_rejected(self):
+        from repro.errors import SimulationError
+
+        net, packet, edges = self.make()
+        with pytest.raises(SimulationError):
+            packet.apply_follow(net, edges[2])
+
+    def test_reverse_prepends(self):
+        net, packet, edges = self.make()
+        packet.apply_follow(net, edges[0])
+        packet.apply_reverse(net, edges[0])  # deflected back
+        assert packet.node == 0
+        assert list(packet.path) == edges
+        assert packet.backward_moves == 1
+
+    def test_free_leaves_path_alone(self):
+        net, packet, edges = self.make()
+        packet.apply_free(net, edges[0])
+        assert packet.node == 1
+        assert list(packet.path) == edges
+
+    def test_toggle_roundtrip(self):
+        net, packet, edges = self.make()
+        packet.apply_follow(net, edges[0])  # at node 1
+        before_path = list(packet.path)
+        packet.toggle_across(net, edges[0])  # oscillate back to 0
+        assert packet.node == 0
+        packet.toggle_across(net, edges[0])  # and forward again
+        assert packet.node == 1
+        assert list(packet.path) == before_path
+
+    def test_empty_path_head_raises(self):
+        from repro.errors import SimulationError
+
+        net, packet, edges = self.make()
+        for e in edges:
+            packet.apply_follow(net, e)
+        with pytest.raises(SimulationError):
+            packet.head_edge()
+
+    def test_status_flags(self):
+        net, packet, _ = self.make()
+        assert packet.is_pending and not packet.is_active
+        packet.status = PacketStatus.ACTIVE
+        assert packet.is_active
+        packet.status = PacketStatus.ABSORBED
+        assert packet.is_absorbed
+        assert packet.delivery_time() is None
+
+
+class TestQuickRoute:
+    def test_quick_route_smoke(self):
+        import repro
+
+        result = repro.quick_route(seed=1, dim=3)
+        assert result.all_delivered

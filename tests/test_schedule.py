@@ -1,0 +1,140 @@
+"""Unit tests for the phase clock and frontier-frame geometry (Section 2.5)."""
+
+import pytest
+
+from repro.core import AlgorithmParams, FrameGeometry, PhaseClock
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def clock():
+    return PhaseClock(m=4, w=10)  # 40-step phases
+
+
+@pytest.fixture
+def geometry():
+    params = AlgorithmParams.practical(4, 12, 16, m=4, w=10)
+    return FrameGeometry(params)
+
+
+class TestPhaseClock:
+    def test_phase_round_step(self, clock):
+        assert clock.steps_per_phase == 40
+        assert clock.phase(0) == 0
+        assert clock.phase(39) == 0
+        assert clock.phase(40) == 1
+        assert clock.round(0) == 0
+        assert clock.round(9) == 0
+        assert clock.round(10) == 1
+        assert clock.round(39) == 3
+        assert clock.step_in_round(25) == 5
+
+    def test_boundaries(self, clock):
+        assert clock.is_phase_start(0)
+        assert clock.is_phase_start(40)
+        assert not clock.is_phase_start(39)
+        assert clock.is_phase_end(39)
+        assert clock.is_round_start(10)
+        assert clock.is_round_end(9)
+        assert clock.is_round_end(39)
+        assert not clock.is_round_end(38)
+
+    def test_phase_start_lookup(self, clock):
+        assert clock.phase_start(3) == 120
+        assert clock.next_phase_start(0) == 40
+        assert clock.next_phase_start(39) == 40
+        assert clock.next_phase_start(40) == 80
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PhaseClock(0, 10)
+
+
+class TestFrameGeometry:
+    def test_frontier_positions(self, geometry):
+        # f_i = phase - i*m: frame 0 enters at phase 0, frame 1 at phase m.
+        assert geometry.frontier(0, 0) == 0
+        assert geometry.frontier(0, 5) == 5
+        assert geometry.frontier(1, 0) == -4
+        assert geometry.frontier(1, 4) == 0
+
+    def test_frames_never_overlap(self, geometry):
+        params = geometry.params
+        for phase in range(params.total_phases + 1):
+            covered = {}
+            for i in range(params.num_sets):
+                for level in geometry.frame_levels(i, phase):
+                    assert level not in covered, (
+                        f"frames {covered[level]} and {i} overlap at level "
+                        f"{level}, phase {phase}"
+                    )
+                    covered[level] = i
+
+    def test_frames_pipelined_m_apart(self, geometry):
+        m = geometry.m
+        for phase in range(10, 20):
+            assert (
+                geometry.frontier(0, phase) - geometry.frontier(1, phase) == m
+            )
+
+    def test_inner_levels(self, geometry):
+        phase = 8  # frontier of frame 0 at level 8
+        assert geometry.inner_level(0, phase, 8) == 0
+        assert geometry.inner_level(0, phase, 5) == 3
+        assert geometry.in_frame(0, phase, 5)
+        assert not geometry.in_frame(0, phase, 4)
+        assert not geometry.in_frame(0, phase, 9)
+
+    def test_frame_levels_clipped(self, geometry):
+        # Partially entered frame: frontier at 1, m=4 -> levels 0..1.
+        assert list(geometry.frame_levels(0, 1)) == [0, 1]
+        # Fully outside (not yet entered).
+        assert list(geometry.frame_levels(1, 0)) == []
+        # Partially exited: frontier at L+2 -> levels L-1..L.
+        depth = geometry.depth
+        assert list(geometry.frame_levels(0, depth + 2)) == [depth - 1, depth]
+
+    def test_target_levels_recede(self, geometry):
+        # Rounds 0, 1 -> inner 0; round j >= 2 -> inner j-1.
+        assert geometry.target_inner_level(0) == 0
+        assert geometry.target_inner_level(1) == 0
+        assert geometry.target_inner_level(2) == 1
+        assert geometry.target_inner_level(3) == 2
+        phase = 8
+        assert geometry.target_level(0, phase, 0) == 8
+        assert geometry.target_level(0, phase, 3) == 6
+
+    def test_target_round_out_of_range(self, geometry):
+        with pytest.raises(ParameterError):
+            geometry.target_inner_level(geometry.m)
+
+    def test_injection_schedule(self, geometry):
+        m = geometry.m
+        # Source at level s of frame i is at inner m-1 when
+        # phase = i*m + m - 1 + s.
+        assert geometry.injection_phase(0, 0) == m - 1
+        assert geometry.injection_phase(0, 3) == m + 2
+        assert geometry.injection_phase(1, 0) == 2 * m - 1
+        # Consistency: at the injection phase, the injection level equals
+        # the source level.
+        for set_index in range(geometry.params.num_sets):
+            for level in range(geometry.depth + 1):
+                phase = geometry.injection_phase(set_index, level)
+                assert geometry.injection_level(set_index, phase) == level
+
+    def test_exit_phase(self, geometry):
+        for i in range(geometry.params.num_sets):
+            exit_phase = geometry.exit_phase(i)
+            assert list(geometry.frame_levels(i, exit_phase)) == []
+            assert list(geometry.frame_levels(i, exit_phase - 1)) != []
+
+    def test_total_phases_cover_last_exit(self, geometry):
+        params = geometry.params
+        last = params.num_sets - 1
+        assert geometry.exit_phase(last) == params.total_phases
+
+    def test_set_index_validated(self, geometry):
+        with pytest.raises(ParameterError):
+            geometry.frontier(99, 0)
+        with pytest.raises(ParameterError):
+            geometry.injection_phase(0, -1)

@@ -1,0 +1,328 @@
+"""Unit tests for every topology factory (the paper's Figure 1 families)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import (
+    MeshCorner,
+    array_coords,
+    array_node,
+    assert_valid,
+    bottleneck_level,
+    butterfly,
+    butterfly_node,
+    complete_binary_tree,
+    diamond,
+    fat_tree,
+    fat_tree_leaf_count,
+    fat_tree_node,
+    fat_tree_shape,
+    hypercube,
+    hypercube_address,
+    hypercube_node,
+    layered_complete,
+    layered_node,
+    line,
+    line_node,
+    max_forward_capacity,
+    mesh,
+    mesh_coords,
+    mesh_node,
+    mesh_shape,
+    multidim_array,
+    omega_network,
+    omega_node,
+    profile,
+    random_level_sizes,
+    random_leveled,
+    tree_node,
+    validate_leveled,
+    wrapped_butterfly_rows,
+)
+
+
+ALL_FACTORIES = [
+    lambda: butterfly(2),
+    lambda: butterfly(5),
+    lambda: mesh(3, 7),
+    lambda: mesh(6, 6, MeshCorner.SOUTH_EAST),
+    lambda: hypercube(5),
+    lambda: multidim_array((2, 3, 4)),
+    lambda: omega_network(4),
+    lambda: fat_tree(4),
+    lambda: line(12),
+    lambda: complete_binary_tree(4),
+    lambda: complete_binary_tree(4, root_at_top=False),
+    lambda: layered_complete([2, 5, 5, 2]),
+    lambda: diamond(4, 6),
+    lambda: random_leveled([3, 6, 6, 6, 3], seed=1),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+def test_every_topology_is_a_valid_leveled_network(factory):
+    net = factory()
+    assert_valid(net)
+
+
+class TestButterfly:
+    def test_shape(self):
+        net = butterfly(3)
+        assert net.depth == 3
+        assert net.level_sizes() == (8, 8, 8, 8)
+        assert net.num_edges == 3 * 8 * 2
+        assert wrapped_butterfly_rows(net) == 8
+
+    def test_out_degree_two(self):
+        net = butterfly(3)
+        for level in range(3):
+            for v in net.nodes_at_level(level):
+                assert net.out_degree(v) == 2
+
+    def test_straight_and_cross_edges(self):
+        net = butterfly(3)
+        src = butterfly_node(net, 0, 0b000)
+        heads = set(net.forward_neighbors(src))
+        # straight to row 0, cross flips the top bit (dim-1-level = 2).
+        assert heads == {
+            butterfly_node(net, 1, 0b000),
+            butterfly_node(net, 1, 0b100),
+        }
+
+    def test_full_end_to_end_reachability(self):
+        net = butterfly(3)
+        for src in net.nodes_at_level(0):
+            tops = [
+                v
+                for v in net.forward_reachable(src)
+                if net.level(v) == net.depth
+            ]
+            assert len(tops) == 8
+
+    def test_dim_zero_rejected(self):
+        with pytest.raises(TopologyError):
+            butterfly(0)
+
+
+class TestMesh:
+    def test_depth_and_level_sizes(self):
+        net = mesh(4, 4)
+        assert net.depth == 6
+        assert net.level_sizes() == (1, 2, 3, 4, 3, 2, 1)
+        assert net.num_edges == 2 * 4 * 3  # 24 grid edges
+
+    def test_all_four_orientations_differ_in_level0(self):
+        corners = {}
+        for corner in MeshCorner:
+            net = mesh(3, 3, corner)
+            corners[corner] = mesh_coords(net, net.nodes_at_level(0)[0])
+        assert corners[MeshCorner.NORTH_WEST] == (0, 0)
+        assert corners[MeshCorner.NORTH_EAST] == (0, 2)
+        assert corners[MeshCorner.SOUTH_WEST] == (2, 0)
+        assert corners[MeshCorner.SOUTH_EAST] == (2, 2)
+
+    def test_coords_roundtrip(self):
+        net = mesh(3, 5)
+        for i in range(3):
+            for j in range(5):
+                assert mesh_coords(net, mesh_node(net, i, j)) == (i, j)
+
+    def test_shape_recovery(self):
+        assert mesh_shape(mesh(3, 5)) == (3, 5)
+
+    def test_single_cell_rejected(self):
+        with pytest.raises(TopologyError):
+            mesh(1, 1)
+
+    def test_coords_on_non_mesh(self, bf3):
+        with pytest.raises(TopologyError):
+            mesh_coords(bf3, 0)
+
+
+class TestHypercube:
+    def test_levels_are_hamming_weights(self):
+        net = hypercube(4)
+        assert net.level_sizes() == (1, 4, 6, 4, 1)
+        for address in range(16):
+            node = hypercube_node(net, address)
+            assert net.level(node) == bin(address).count("1")
+            assert hypercube_address(net, node) == address
+
+    def test_edges_set_one_bit(self):
+        net = hypercube(3)
+        for e in net.edges():
+            a = hypercube_address(net, net.edge_src(e))
+            b = hypercube_address(net, net.edge_dst(e))
+            diff = a ^ b
+            assert diff & (diff - 1) == 0 and diff != 0
+            assert b > a
+
+    def test_edge_count(self):
+        net = hypercube(4)
+        assert net.num_edges == 4 * 2**3  # d * 2^(d-1)
+
+
+class TestMultidimArray:
+    def test_matches_mesh_when_2d(self):
+        arr = multidim_array((4, 4))
+        msh = mesh(4, 4)
+        assert arr.level_sizes() == msh.level_sizes()
+        assert arr.num_edges == msh.num_edges
+
+    def test_coords_roundtrip(self):
+        net = multidim_array((2, 3, 2))
+        for node in net.nodes():
+            coords = array_coords(net, node)
+            assert array_node(net, coords) == node
+            assert net.level(node) == sum(coords)
+
+    def test_degenerate_shapes_rejected(self):
+        with pytest.raises(TopologyError):
+            multidim_array(())
+        with pytest.raises(TopologyError):
+            multidim_array((1, 1))
+        with pytest.raises(TopologyError):
+            multidim_array((0, 3))
+
+
+class TestOmega:
+    def test_shape(self):
+        net = omega_network(3)
+        assert net.depth == 3
+        assert net.level_sizes() == (8, 8, 8, 8)
+        assert all(net.out_degree(v) == 2 for v in net.nodes_at_level(0))
+
+    def test_full_reachability(self):
+        net = omega_network(3)
+        for src in net.nodes_at_level(0):
+            tops = {
+                v for v in net.forward_reachable(net.node_by_label(net.label(src)))
+                if net.level(v) == 3
+            }
+            assert len(tops) == 8
+
+    def test_node_lookup(self):
+        net = omega_network(2)
+        assert net.level(omega_node(net, 1, 3)) == 1
+
+
+class TestFatTree:
+    def test_shape(self):
+        net = fat_tree(3)
+        assert net.depth == 3
+        assert fat_tree_leaf_count(net) == 8
+        assert net.level_sizes() == (8, 4, 2, 1)
+        assert fat_tree_shape(net) == (3, 2)
+
+    def test_fatness_doubles_toward_root(self):
+        net = fat_tree(3, capacity_cap=8)
+        # level 0 children: 1 edge each; level 1: 2; level 2: 4.
+        child0 = fat_tree_node(net, 0, 0)
+        child1 = fat_tree_node(net, 1, 0)
+        child2 = fat_tree_node(net, 2, 0)
+        assert net.out_degree(child0) == 1
+        assert net.out_degree(child1) == 2
+        assert net.out_degree(child2) == 4
+
+    def test_capacity_cap(self):
+        net = fat_tree(5, capacity_cap=2)
+        deep_child = fat_tree_node(net, 4, 0)
+        assert net.out_degree(deep_child) == 2
+
+
+class TestSimpleNets:
+    def test_line(self):
+        net = line(5)
+        assert net.depth == 5
+        assert net.num_edges == 5
+        assert line_node(net, 3) == 3
+
+    def test_binary_tree_orientations(self):
+        down = complete_binary_tree(3)
+        up = complete_binary_tree(3, root_at_top=False)
+        assert down.level_sizes() == (1, 2, 4, 8)
+        assert up.level_sizes() == (8, 4, 2, 1)
+        assert down.level(tree_node(down, 0, 0)) == 0
+        assert up.level(tree_node(up, 0, 0)) == 3
+
+    def test_layered_complete(self):
+        net = layered_complete([1, 4, 1])
+        assert net.num_edges == 8
+        assert net.out_degree(layered_node(net, 0, 0)) == 4
+
+    def test_diamond(self):
+        net = diamond(3, 5)
+        assert net.level_sizes() == (1, 3, 3, 3, 3, 1)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(TopologyError):
+            line(0)
+        with pytest.raises(TopologyError):
+            layered_complete([3])
+        with pytest.raises(TopologyError):
+            diamond(0, 4)
+
+
+class TestRandomLeveled:
+    def test_min_degrees_respected(self):
+        net = random_leveled(
+            [4, 4, 4, 4], edge_probability=0.0, seed=0,
+            min_out_degree=2, min_in_degree=2,
+        )
+        for v in net.nodes():
+            if net.level(v) < net.depth:
+                assert net.out_degree(v) >= 2
+            if net.level(v) > 0:
+                assert net.in_degree(v) >= 2
+
+    def test_reproducible(self):
+        a = random_leveled([3, 5, 3], edge_probability=0.4, seed=123)
+        b = random_leveled([3, 5, 3], edge_probability=0.4, seed=123)
+        assert list(a.edges()) == list(b.edges())
+        assert [a.edge_endpoints(e) for e in a.edges()] == [
+            b.edge_endpoints(e) for e in b.edges()
+        ]
+
+    def test_full_probability_is_complete(self):
+        net = random_leveled([2, 3], edge_probability=1.0, seed=0)
+        assert net.num_edges == 6
+
+    def test_random_level_sizes(self):
+        sizes = random_level_sizes(10, 5, seed=1)
+        assert len(sizes) == 11
+        assert all(s >= 1 for s in sizes)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(TopologyError):
+            random_leveled([2, 2], edge_probability=1.5)
+
+
+class TestValidationAndProperties:
+    def test_validation_report_ok(self, bf3):
+        report = validate_leveled(bf3)
+        assert report.ok
+        assert report.depth == 3
+        assert "OK" in report.summary()
+
+    def test_dead_ends_reported(self):
+        # A level-0 node with no out edge.
+        from repro.net import LeveledNetwork
+
+        net = LeveledNetwork([0, 0, 1], [(0, 2)])
+        report = validate_leveled(net)
+        assert report.ok  # legal, just awkward
+        assert report.dead_ends == [1]
+
+    def test_profile(self, bf3):
+        prof = profile(bf3)
+        assert prof.depth == 3
+        assert prof.max_degree == 4
+        assert prof.is_regular_levels
+
+    def test_forward_capacity(self):
+        net = layered_complete([1, 4, 1])
+        assert max_forward_capacity(net) == 4
+        assert bottleneck_level(net) in (0, 1)
+
+    def test_bottleneck_on_line(self, line8):
+        assert max_forward_capacity(line8) == 1

@@ -1,0 +1,147 @@
+"""Tests for the arbitrary-DAG leveling adapter."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.experiments import run_frontier_trial
+from repro.net import (
+    assert_valid,
+    longest_path_layers,
+    random_dag,
+    unroll_dag,
+)
+from repro.paths import select_paths_random
+from repro.rng import make_rng
+from repro.workloads import Workload
+
+
+class TestLayers:
+    def test_simple_chain(self):
+        layers = longest_path_layers([0, 1, 2], [(0, 1), (1, 2)])
+        assert layers == {0: 0, 1: 1, 2: 2}
+
+    def test_longest_path_dominates(self):
+        # Diamond with a long side: d must sit after the longer branch.
+        layers = longest_path_layers(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("b", "c"), ("a", "d"), ("c", "d")],
+        )
+        assert layers["d"] == 3
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TopologyError):
+            longest_path_layers([0, 1], [(0, 1), (1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            longest_path_layers([0], [(0, 0)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(TopologyError):
+            longest_path_layers([0], [(0, 5)])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            longest_path_layers([0, 0], [])
+
+
+class TestUnroll:
+    def test_long_edges_get_relays(self):
+        # a->b->c plus a shortcut a->c spanning two layers.
+        unrolled = unroll_dag(["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        assert_valid(unrolled.net)
+        assert unrolled.num_relays == 1
+        assert unrolled.net.num_nodes == 4
+        # Path along the shortcut exists through the relay.
+        a, c = unrolled.node_of["a"], unrolled.node_of["c"]
+        assert c in unrolled.net.forward_reachable(a)
+
+    def test_relays_have_degree_two(self):
+        nodes, edges = random_dag(20, 0.25, seed=1)
+        unrolled = unroll_dag(nodes, edges)
+        assert_valid(unrolled.net)
+        for v in unrolled.net.nodes():
+            if unrolled.is_relay[v]:
+                assert unrolled.net.in_degree(v) == 1
+                assert unrolled.net.out_degree(v) == 1
+
+    def test_reachability_preserved(self):
+        nodes, edges = random_dag(15, 0.2, seed=2)
+        unrolled = unroll_dag(nodes, edges)
+        # DAG reachability (transitive closure) == leveled reachability
+        # restricted to original nodes.
+        succ = {u: set() for u in nodes}
+        for u, v in edges:
+            succ[u].add(v)
+        # simple DFS closure
+        def closure(u):
+            seen, stack = set(), [u]
+            while stack:
+                x = stack.pop()
+                for y in succ[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        stack.append(y)
+            return seen
+
+        for u in nodes:
+            reach_dag = closure(u)
+            reach_net = {
+                orig
+                for orig, vid in unrolled.node_of.items()
+                if vid in unrolled.net.forward_reachable(unrolled.node_of[u])
+                and orig != u
+            }
+            assert reach_net == reach_dag
+
+    def test_congestion_preserved_edgewise(self):
+        # A DAG edge maps to a chain of leveled edges; any path using it
+        # uses the whole chain, so per-chain congestion equals DAG-edge
+        # congestion.  Spot-check via a two-path instance.
+        unrolled = unroll_dag(
+            ["s", "m", "t"], [("s", "m"), ("m", "t"), ("s", "t")]
+        )
+        net = unrolled.net
+        s, t = unrolled.node_of["s"], unrolled.node_of["t"]
+        rng = make_rng(0)
+        problem = select_paths_random(net, [(s, t)], seed=1)
+        assert problem.congestion == 1
+
+
+class TestRoutingOnUnrolledDag:
+    def test_frontier_routes_random_dag(self):
+        nodes, edges = random_dag(30, 0.15, seed=5)
+        unrolled = unroll_dag(nodes, edges, name="dag30")
+        net = unrolled.net
+        rng = make_rng(6)
+        # Random endpoints among original nodes with forward routes.
+        endpoints = []
+        used = set()
+        for u in nodes:
+            src = unrolled.node_of[u]
+            reach = [
+                v
+                for v in sorted(net.forward_reachable(src))
+                if v != src and not unrolled.is_relay[v]
+            ]
+            if reach and src not in used and len(endpoints) < 8:
+                used.add(src)
+                endpoints.append((src, reach[int(rng.integers(0, len(reach)))]))
+        assert len(endpoints) >= 4
+        problem = select_paths_random(net, endpoints, seed=7)
+        record = run_frontier_trial(
+            problem, seed=8, audit=True, condition_sets=True, m=6, w_factor=8.0
+        )
+        assert record.result.all_delivered
+        assert record.audit.ok, record.audit.summary()
+
+
+class TestRandomDag:
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            random_dag(1, 0.5)
+        with pytest.raises(TopologyError):
+            random_dag(5, 1.5)
+
+    def test_reproducible(self):
+        assert random_dag(12, 0.3, seed=9) == random_dag(12, 0.3, seed=9)

@@ -8,9 +8,12 @@ after any run.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 def emit(experiment_id: str, text: str) -> None:
@@ -33,3 +36,32 @@ def reset(experiment_id: str) -> None:
 def once(benchmark, fn, *args, **kwargs):
     """Time ``fn`` exactly once (expensive end-to-end runs)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def bench_workers(default: int = 1) -> int:
+    """Trial-sweep worker count for benches that fan seeds out.
+
+    Set by ``python -m repro experiment <id> --workers N`` (via the
+    ``$REPRO_BENCH_WORKERS`` environment variable) or directly in the
+    environment.  Sweeps return identical records at any worker count, so
+    this only changes wall-clock time, never a reproduction table.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark report at the repo root.
+
+    ``name`` is e.g. ``"engine"`` or ``"trials"``; the file becomes
+    ``BENCH_<name>.json`` next to pyproject.toml so regression tooling
+    (tools/bench_report.py, CI artifacts) can diff runs across PRs.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

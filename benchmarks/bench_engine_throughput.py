@@ -10,9 +10,15 @@ import pytest
 
 from repro.baselines import NaivePathRouter
 from repro.core import AlgorithmParams, FrontierFrameRouter
-from repro.experiments import butterfly_random_instance, deep_random_instance
+from repro.experiments import (
+    butterfly_random_instance,
+    deep_random_instance,
+    run_frontier_trials,
+)
 from repro.net import butterfly
 from repro.sim import Engine
+
+from _common import bench_workers, once
 
 
 @pytest.fixture(scope="module")
@@ -73,3 +79,29 @@ def test_throughput_fast_forward_speedup(benchmark, big_problem):
 def test_throughput_topology_construction(benchmark):
     net = benchmark(butterfly, 8)
     assert net.num_nodes == 9 * 256
+
+
+def _trial_problem(seed):
+    return butterfly_random_instance(4, seed=seed)
+
+
+def test_throughput_trial_sweep(benchmark):
+    """End-to-end trial throughput via the experiment runner.
+
+    Honors ``$REPRO_BENCH_WORKERS`` (see ``repro experiment --workers``);
+    the records are identical at any worker count, so this tracks sweep
+    wall-clock only.
+    """
+    seeds = list(range(8))
+
+    def run():
+        return run_frontier_trials(
+            _trial_problem,
+            seeds,
+            workers=bench_workers(),
+            m=8,
+            w_factor=8.0,
+        )
+
+    records = once(benchmark, run)
+    assert all(r.result.all_delivered for r in records)

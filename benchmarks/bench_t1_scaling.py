@@ -25,10 +25,11 @@ from repro.experiments import (
     butterfly_hotrow_instance,
     deep_random_instance,
     run_frontier_trial,
+    run_trials_for_problem,
 )
 from repro.rng import stable_hash_seed
 
-from _common import emit, once, reset
+from _common import bench_workers, emit, once, reset
 
 #: fixed frame parameterization for the whole sweep
 FRAME_KW = dict(m=8, w_factor=8.0, set_congestion_target=3.0)
@@ -48,10 +49,25 @@ def run_point(problem, seed):
 def sweep(instances, label):
     rows = []
     xs, ys = [], []
+    workers = bench_workers()
     for index, (name, problem) in enumerate(instances):
+        # Per-seed trials of one instance are independent; fan them across
+        # $REPRO_BENCH_WORKERS processes (records are identical at any
+        # worker count, so the table never changes — only the wall clock).
+        params = AlgorithmParams.practical(
+            max(1, problem.congestion),
+            problem.net.depth,
+            problem.num_packets,
+            **FRAME_KW,
+        )
+        records = run_trials_for_problem(
+            problem,
+            [stable_hash_seed(seed, index) for seed in SEEDS],
+            workers=workers,
+            params=params,
+        )
         makespans = []
-        for seed in SEEDS:
-            record = run_point(problem, stable_hash_seed(seed, index))
+        for record in records:
             assert record.result.all_delivered, (name, record.result.summary())
             makespans.append(record.result.makespan)
         mean_t = sum(makespans) / len(makespans)

@@ -1,0 +1,15 @@
+"""Make ``repro`` importable when benches run from a source checkout.
+
+The benches are executed three ways: by the tier-1 suite's pytest run (which
+gets ``pythonpath = ["src"]`` from pyproject.toml), by ``python -m repro
+experiment`` (which exports PYTHONPATH to its pytest subprocess), and by
+hand from this directory.  The last case has no installer help, so inject
+the source tree here as a final fallback.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

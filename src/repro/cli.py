@@ -280,7 +280,62 @@ def _benchmarks_dir():
     return candidate if candidate.is_dir() else None
 
 
+def _sweep_problem(net_spec: str, workload: str, packets: Optional[int], seed: int):
+    """Build one sweep instance (module-level so process pools can pickle a
+    ``functools.partial`` of it)."""
+    net = build_topology(net_spec, seed=seed)
+    return build_problem(net, workload, packets, seed)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
+    import time
+
+    from .experiments import derive_sweep_seeds, run_frontier_trials
+
+    if args.trials < 1:
+        print("error: --trials must be at least 1", file=sys.stderr)
+        return 2
+    factory = functools.partial(
+        _sweep_problem, args.net, args.workload, args.packets
+    )
+    seeds = derive_sweep_seeds(args.seed, args.trials)
+    start = time.perf_counter()
+    records = run_frontier_trials(
+        factory, seeds, workers=args.workers, audit=args.audit
+    )
+    elapsed = time.perf_counter() - start
+    delivered = sum(1 for r in records if r.result.all_delivered)
+    audits_ok = all(r.audit is None or r.audit.ok for r in records)
+    makespans = sorted(r.result.makespan for r in records)
+    ratios = [
+        r.result.makespan / max(1, r.result.congestion + r.result.dilation)
+        for r in records
+    ]
+    print(
+        f"sweep     : {args.trials} frontier trials on {args.net} / "
+        f"{args.workload} (workers={args.workers})"
+    )
+    print(
+        f"delivered : {delivered}/{len(records)} trials"
+        + ("" if not args.audit else f", invariants {'OK' if audits_ok else 'VIOLATED'}")
+    )
+    print(
+        f"makespan  : min {makespans[0]}, median "
+        f"{makespans[len(makespans) // 2]}, max {makespans[-1]} "
+        f"(T/(C+L) mean {sum(ratios) / len(ratios):.1f})"
+    )
+    print(
+        f"throughput: {len(records) / elapsed:.2f} trials/sec "
+        f"({elapsed:.2f}s wall)"
+    )
+    ok = delivered == len(records) and audits_ok
+    return 0 if ok else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
+    import os
+    import pathlib
     import subprocess
 
     bench_dir = _benchmarks_dir()
@@ -318,8 +373,20 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "-q",
         "-s",
     ]
+    # The child pytest must import ``repro`` even when the package is not
+    # installed: prepend the source tree to its PYTHONPATH.
+    env = os.environ.copy()
+    src_dir = pathlib.Path(__file__).resolve().parents[1]
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(src_dir) if not existing else str(src_dir) + os.pathsep + existing
+    )
+    if args.workers is not None:
+        from .experiments import WORKERS_ENV_VAR
+
+        env[WORKERS_ENV_VAR] = str(args.workers)
     print("running:", " ".join(command))
-    return subprocess.call(command, cwd=str(bench_dir))
+    return subprocess.call(command, cwd=str(bench_dir), env=env)
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -380,6 +447,29 @@ def make_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--seed", type=int, default=0)
     p_dyn.set_defaults(func=cmd_dynamic)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a seeded multi-trial frontier sweep"
+    )
+    p_sweep.add_argument("--net", default="butterfly:4")
+    p_sweep.add_argument(
+        "--workload",
+        default="random",
+        help="random | bottleneck | hotspot | permutation | hotrow",
+    )
+    p_sweep.add_argument("--packets", type=int, default=None)
+    p_sweep.add_argument("--trials", type=int, default=8)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial processes (1 = serial; results are identical either way)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--audit", action="store_true", help="audit invariants I_a..I_f"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
     p_exp = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table"
     )
@@ -388,6 +478,13 @@ def make_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="e.g. t1, t4, a2, e1; omit to list available experiments",
+    )
+    p_exp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel trial processes for benches that sweep seeds "
+        "(exported as $REPRO_BENCH_WORKERS)",
     )
     p_exp.set_defaults(func=cmd_experiment)
     return parser

@@ -6,6 +6,17 @@ from .runner import (
     run_router_trial,
     run_frontier_trials,
 )
+from .parallel import (
+    WORKERS_ENV_VAR,
+    default_chunksize,
+    derive_sweep_seeds,
+    env_workers,
+    parallel_map,
+    resolve_workers,
+    run_frontier_trials_parallel,
+    run_router_trials,
+    run_trials_for_problem,
+)
 from .configs import (
     butterfly_random_instance,
     butterfly_hotrow_instance,
@@ -23,6 +34,15 @@ __all__ = [
     "run_frontier_trial",
     "run_router_trial",
     "run_frontier_trials",
+    "WORKERS_ENV_VAR",
+    "default_chunksize",
+    "derive_sweep_seeds",
+    "env_workers",
+    "parallel_map",
+    "resolve_workers",
+    "run_frontier_trials_parallel",
+    "run_router_trials",
+    "run_trials_for_problem",
     "butterfly_random_instance",
     "butterfly_hotrow_instance",
     "deep_random_instance",

@@ -1,0 +1,171 @@
+"""Parallel trial execution across a process pool.
+
+Trial sweeps are embarrassingly parallel: every trial derives its RNG
+streams from its own integer seed via :func:`repro.rng.stable_hash_seed`,
+so a trial's outcome is a pure function of ``(problem_factory, seed,
+kwargs)`` and is *identical* no matter which process (or machine) runs it.
+This module fans sweeps across a :class:`concurrent.futures.
+ProcessPoolExecutor` in seed-order-preserving chunks; ``workers=1`` (the
+default everywhere) short-circuits to plain in-process loops, so serial and
+parallel runs return byte-identical records for the same seeds.
+
+Requirements for ``workers > 1``: the problem factory / router factory and
+their captured arguments must be picklable (module-level functions and
+:func:`functools.partial` over them are; lambdas and closures are not), as
+must the routing problem itself — :class:`~repro.net.LeveledNetwork` and
+:class:`~repro.paths.RoutingProblem` are plain-data containers, so every
+instance built by :mod:`repro.experiments.configs` qualifies.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..paths import RoutingProblem
+from ..rng import stable_hash_seed
+from ..sim import Router, RunResult
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: Environment knob read by the benchmark harness (see benchmarks/_common.py
+#: and ``python -m repro experiment --workers``).
+WORKERS_ENV_VAR = "REPRO_BENCH_WORKERS"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Clamp a worker count: ``None``/0/negatives mean serial."""
+    if workers is None or workers < 1:
+        return 1
+    return workers
+
+
+def default_chunksize(num_items: int, workers: int) -> int:
+    """Chunked dispatch: ~4 chunks per worker bounds scheduling overhead
+    while keeping the pool load-balanced when trial durations vary."""
+    if workers <= 1:
+        return max(1, num_items)
+    return max(1, math.ceil(num_items / (workers * 4)))
+
+
+def parallel_map(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+) -> List[U]:
+    """Order-preserving map over a process pool (serial when ``workers<=1``).
+
+    ``fn`` and every item must be picklable when ``workers > 1``.
+    """
+    workers = resolve_workers(workers)
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), workers)
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+# ------------------------------------------------------------ trial workers
+#
+# Module-level functions (not closures) so the pool can pickle them; the
+# sweep parameters ride along via functools.partial.
+
+
+def _frontier_trial_task(problem_factory, kwargs: dict, seed: int):
+    from .runner import run_frontier_trial
+
+    return run_frontier_trial(problem_factory(seed), seed=seed, **kwargs)
+
+
+def _frontier_fixed_problem_task(problem: RoutingProblem, kwargs: dict, seed: int):
+    from .runner import run_frontier_trial
+
+    return run_frontier_trial(problem, seed=seed, **kwargs)
+
+
+def _router_trial_task(
+    problem: RoutingProblem, router_factory, max_steps: int, seed: int
+) -> RunResult:
+    from .runner import run_router_trial
+
+    return run_router_trial(problem, router_factory, seed, max_steps)
+
+
+# ---------------------------------------------------------------- sweep API
+
+
+def run_frontier_trials_parallel(
+    problem_factory: Callable[[int], RoutingProblem],
+    seeds: Sequence[int],
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    **kwargs,
+):
+    """One frontier trial per seed, fanned across ``workers`` processes.
+
+    Each trial regenerates its problem from its seed inside the worker, so
+    only the (small) factory and sweep kwargs cross the process boundary.
+    Records come back in seed order and match ``workers=1`` exactly.
+    """
+    task = functools.partial(_frontier_trial_task, problem_factory, kwargs)
+    return parallel_map(task, seeds, workers=workers, chunksize=chunksize)
+
+
+def run_trials_for_problem(
+    problem: RoutingProblem,
+    seeds: Sequence[int],
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    **kwargs,
+):
+    """Frontier trials of one *fixed* problem under several seeds.
+
+    The sweep shape used by the T1 benchmarks: the instance is held fixed
+    while the algorithm's coins vary.  The problem is pickled once per
+    worker (chunked dispatch), not once per seed.
+    """
+    task = functools.partial(_frontier_fixed_problem_task, problem, kwargs)
+    return parallel_map(task, seeds, workers=workers, chunksize=chunksize)
+
+
+def run_router_trials(
+    problem: RoutingProblem,
+    router_factory: Callable[[int], Router],
+    seeds: Sequence[int],
+    max_steps: int,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+) -> List[RunResult]:
+    """Baseline-router sweep over seeds (serial or parallel).
+
+    ``router_factory`` must be picklable for ``workers > 1`` (the baseline
+    router classes themselves are; pass the class or a ``partial``).
+    """
+    task = functools.partial(
+        _router_trial_task, problem, router_factory, max_steps
+    )
+    return parallel_map(task, seeds, workers=workers, chunksize=chunksize)
+
+
+def env_workers(default: int = 1) -> int:
+    """Worker count from ``$REPRO_BENCH_WORKERS`` (benchmark harness knob)."""
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if not raw:
+        return default
+    try:
+        return resolve_workers(int(raw))
+    except ValueError:
+        return default
+
+
+def derive_sweep_seeds(base_seed: int, count: int) -> List[int]:
+    """Deterministic, well-separated per-trial seeds for a sweep."""
+    return [stable_hash_seed(base_seed, index) for index in range(count)]

@@ -33,6 +33,7 @@ from .properties import (
 )
 from .convert import to_networkx, to_networkx_multi, from_networkx
 from .unroll import UnrolledDag, longest_path_layers, unroll_dag, random_dag
+from .geometry import NetworkGeometry, slot_id, slot_edge, slot_direction
 
 __all__ = [
     "LeveledNetwork",
@@ -85,4 +86,8 @@ __all__ = [
     "longest_path_layers",
     "unroll_dag",
     "random_dag",
+    "NetworkGeometry",
+    "slot_id",
+    "slot_edge",
+    "slot_direction",
 ]

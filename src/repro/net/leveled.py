@@ -52,6 +52,7 @@ class LeveledNetwork:
         "_levels",
         "_label_index",
         "_edge_index",
+        "_geometry",
         "name",
     )
 
@@ -128,6 +129,8 @@ class LeveledNetwork:
             key = (self._edge_src[e], self._edge_dst[e])
             # Parallel edges (fat-trees) keep the first id; find_edges returns all.
             self._edge_index.setdefault(key, e)
+        #: lazily built dense lookup tables for the simulation hot path
+        self._geometry = None
 
     # ------------------------------------------------------------------ size
 
@@ -330,6 +333,18 @@ class LeveledNetwork:
         return dist
 
     # ------------------------------------------------------------------ misc
+
+    def geometry(self):
+        """Dense per-node/per-edge lookup tables for the engine hot path.
+
+        Built once on first use and cached (the network is immutable); see
+        :class:`repro.net.geometry.NetworkGeometry`.
+        """
+        if self._geometry is None:
+            from .geometry import NetworkGeometry
+
+            self._geometry = NetworkGeometry(self)
+        return self._geometry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

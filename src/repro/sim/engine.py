@@ -24,12 +24,24 @@ algorithm shares:
   packet is deterministically oscillating (all in wait state, no pending
   injections) up to some horizon, the engine advances positions analytically
   instead of stepping; see DESIGN.md Section 4.7.
+
+Performance
+-----------
+:meth:`Engine.step` is the hot loop of every experiment, so it runs on the
+network's precomputed :class:`~repro.net.NetworkGeometry` (dense endpoint
+and slot-id tables instead of method calls), encodes directed slots as
+single ints, reuses per-step scratch containers instead of allocating fresh
+dicts, applies moves with inlined path bookkeeping, and computes
+injection-isolation occupancy only on steps that actually inject.  The
+observable semantics — arbitration order, RNG draw sequence, router hook
+order, trace events, error messages — are identical to the straightforward
+implementation and are pinned by the golden trace regression tests (see
+docs/performance.md for the preserved invariants).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CapacityError, SimulationError
 from ..net import LeveledNetwork
@@ -45,6 +57,13 @@ from .router import DesiredMove, Router
 Slot = Tuple[EdgeId, Direction]
 
 Observer = Callable[[TraceEvent], None]
+
+_FORWARD = Direction.FORWARD
+_BACKWARD = Direction.BACKWARD
+_PENDING = PacketStatus.PENDING
+_ACTIVE = PacketStatus.ACTIVE
+_FOLLOW = MoveKind.FOLLOW
+_REVERSE = MoveKind.REVERSE
 
 
 class Engine:
@@ -81,6 +100,31 @@ class Engine:
         self.unsafe_deflections = 0
         #: called as ``hook(engine, t)`` after each executed step (auditors)
         self.post_step_hooks: List[Callable[["Engine", int], None]] = []
+
+        # Dense geometry tables (built once per network, shared by engines).
+        geo = self.net.geometry()
+        self._edge_src = geo.edge_src
+        self._edge_dst = geo.edge_dst
+        self._in_edges = geo.in_edges
+        self._in_slot_ids = geo.in_slot_ids
+        self._out_edges = geo.out_edges
+        self._out_slot_ids = geo.out_slot_ids
+
+        # Routers inheriting the default delivery rule (path exhausted at
+        # the destination) get it inlined in the hot loop; overriding
+        # routers keep the virtual call.
+        self._default_delivery = type(router).is_delivered is Router.is_delivered
+
+        # Per-step scratch containers, reused across steps.  ``_contenders``
+        # maps an encoded slot id to either a single packet id (the common,
+        # conflict-free case — no list is allocated) or a list of them.
+        self._desired_kinds: Dict[PacketId, MoveKind] = {}
+        self._contenders: Dict[int, object] = {}
+        self._used_slots: Set[int] = set()
+        self._granted: Dict[PacketId, Tuple[EdgeId, MoveKind]] = {}
+        self._losers_by_node: Dict[NodeId, List[PacketId]] = {}
+        self._deflected: List[Tuple[PacketId, EdgeId, bool]] = []
+
         router.attach(self)
 
     # ---------------------------------------------------------------- events
@@ -119,138 +163,224 @@ class Engine:
         """Execute one synchronous time step."""
         t = self.t
         router = self.router
-        net = self.net
-        tracing = self.tracing
+        packets = self.packets
+        rng = self.rng
+        tracing = bool(self._observers)
+        edge_src = self._edge_src
+        edge_dst = self._edge_dst
 
         router.pre_step(t)
 
-        # -- gather participants and their desires ------------------------
-        desires: Dict[PacketId, DesiredMove] = {}
-        occupants: Dict[NodeId, int] = defaultdict(int)
-        for pid in self.active_ids:
-            occupants[self.packets[pid].node] += 1
-        participants: List[PacketId] = list(self.active_ids)
-        participants.extend(sorted(self.eligible))
+        # -- gather desires and group contenders per directed slot ---------
+        # One merged pass over the participants (active packets in injection
+        # order, then eligible pending ones by id): validate each desire,
+        # remember its move kind, and bucket the packet under the encoded
+        # slot id of its desired traversal.
+        desired_kinds = self._desired_kinds
+        desired_kinds.clear()
+        contenders = self._contenders
+        contenders.clear()
+        desired_move = router.desired_move
+
+        if self.eligible:
+            participants = list(self.active_ids)
+            participants.extend(sorted(self.eligible))
+        else:
+            participants = list(self.active_ids)
         for pid in participants:
-            desire = router.desired_move(pid, t)
-            packet = self.packets[pid]
-            src, dst = net.edge_endpoints(desire.edge)
-            if packet.node != src and packet.node != dst:
+            desire = desired_move(pid, t)
+            edge = desire.edge
+            node = packets[pid].node
+            if node == edge_src[edge]:
+                slot = edge << 1  # FORWARD
+            elif node == edge_dst[edge]:
+                slot = (edge << 1) | 1  # BACKWARD
+            else:
                 raise SimulationError(
-                    f"router desired edge {desire.edge} not incident to "
-                    f"packet {pid} at node {packet.node}"
+                    f"router desired edge {edge} not incident to "
+                    f"packet {pid} at node {node}"
                 )
-            desires[pid] = desire
+            desired_kinds[pid] = desire.kind
+            current = contenders.get(slot)
+            if current is None:
+                contenders[slot] = pid
+            elif type(current) is list:
+                current.append(pid)
+            else:
+                contenders[slot] = [current, pid]
 
         # -- arbitration per directed slot ---------------------------------
-        contenders: Dict[Slot, List[PacketId]] = defaultdict(list)
-        for pid, desire in desires.items():
-            packet = self.packets[pid]
-            direction = net.traversal_direction(desire.edge, packet.node)
-            contenders[(desire.edge, direction)].append(pid)
-
-        used_slots: Set[Slot] = set()
-        granted: Dict[PacketId, Tuple[EdgeId, MoveKind]] = {}
-        losers_by_node: Dict[NodeId, List[PacketId]] = defaultdict(list)
+        used_slots = self._used_slots
+        used_slots.clear()
+        granted = self._granted
+        granted.clear()
+        losers_by_node = self._losers_by_node
+        losers_by_node.clear()
         #: slots granted to not-yet-injected packets, revocable per node:
         #: active packets MUST move (hot potato), pending ones can wait
-        pending_grants: Dict[NodeId, List[Tuple[PacketId, Slot]]] = defaultdict(
-            list
-        )
+        pending_grants: Optional[Dict[NodeId, List[Tuple[PacketId, int]]]] = None
+        priority = router.priority
         for slot, pids in contenders.items():
-            if len(pids) == 1:
-                winner = pids[0]
-            else:
-                # Active packets outrank pending ones unconditionally; the
-                # router's priority breaks ties within each class.  The
-                # priority hook is consulted exactly once per contender
-                # (it may be stateful or randomized).
-                ranked = [
-                    (
-                        (
-                            1 if self.packets[pid].is_active else 0,
-                            router.priority(pid, t),
-                        ),
-                        pid,
-                    )
-                    for pid in pids
-                ]
-                top = max(rank for rank, _ in ranked)
-                best = [pid for rank, pid in ranked if rank == top]
-                winner = (
-                    best[int(self.rng.integers(0, len(best)))]
-                    if len(best) > 1
-                    else best[0]
-                )
+            if type(pids) is not list:
+                # Sole contender: no ranking, no priority call, no RNG draw.
+                winner = pids
+                used_slots.add(slot)
+                granted[winner] = (slot >> 1, desired_kinds[winner])
+                wp = packets[winner]
+                if wp.status is _PENDING:
+                    if pending_grants is None:
+                        pending_grants = {}
+                    pending_grants.setdefault(wp.node, []).append((winner, slot))
+                continue
+            # Active packets outrank pending ones unconditionally; the
+            # router's priority breaks ties within each class.  The
+            # priority hook is consulted exactly once per contender
+            # (it may be stateful or randomized).
+            best: List[PacketId] = []
+            best_cls = -1
+            best_prio = 0
+            for pid in pids:
+                cls = 1 if packets[pid].status is _ACTIVE else 0
+                prio = priority(pid, t)
+                if cls > best_cls or (cls == best_cls and prio > best_prio):
+                    best_cls = cls
+                    best_prio = prio
+                    best = [pid]
+                elif cls == best_cls and prio == best_prio:
+                    best.append(pid)
+            winner = (
+                best[int(rng.integers(0, len(best)))]
+                if len(best) > 1
+                else best[0]
+            )
             used_slots.add(slot)
-            granted[winner] = (slot[0], desires[winner].kind)
-            if self.packets[winner].is_pending:
-                pending_grants[self.packets[winner].node].append((winner, slot))
+            granted[winner] = (slot >> 1, desired_kinds[winner])
+            wp = packets[winner]
+            if wp.status is _PENDING:
+                if pending_grants is None:
+                    pending_grants = {}
+                pending_grants.setdefault(wp.node, []).append((winner, slot))
             for pid in pids:
                 if pid == winner:
                     continue
-                packet = self.packets[pid]
-                if packet.is_active:
-                    losers_by_node[packet.node].append(pid)
+                packet = packets[pid]
+                if packet.status is _ACTIVE:
+                    losers = losers_by_node.get(packet.node)
+                    if losers is None:
+                        losers_by_node[packet.node] = [pid]
+                    else:
+                        losers.append(pid)
                 # Pending losers simply fail to inject this step.
 
         # -- deflection slot matching --------------------------------------
-        deflected: List[Tuple[PacketId, EdgeId, bool]] = []
-        for node, losers in losers_by_node.items():
-            if len(losers) > 1:
-                self.rng.shuffle(losers)
-            safe_here = self.safe_in.get(node, ())
-            # Safe backward slots first (Lemma 2.1), then unsafe backward,
-            # then forward, mirroring the paper's backward-deflection rule.
-            candidates: List[Tuple[EdgeId, bool]] = []
-            for e in net.in_edges(node):
-                if e in safe_here and (e, Direction.BACKWARD) not in used_slots:
-                    candidates.append((e, True))
-            for e in net.in_edges(node):
-                if e not in safe_here and (e, Direction.BACKWARD) not in used_slots:
-                    candidates.append((e, False))
-            for e in net.out_edges(node):
-                if (e, Direction.FORWARD) not in used_slots:
-                    candidates.append((e, False))
-            while len(candidates) < len(losers) and pending_grants[node]:
-                # Deflected residents must move; revoke an injection grant
-                # at this node and recycle its slot ("a packet is injected
-                # at any subsequent step in which there is an available
-                # link").
-                revoked, slot = pending_grants[node].pop()
-                del granted[revoked]
-                used_slots.discard(slot)
-                candidates.append((slot[0], False))
-            if len(candidates) < len(losers):
-                raise CapacityError(
-                    f"step {t}: node {node} has {len(losers)} deflected "
-                    f"packets but only {len(candidates)} free slots"
+        deflected = self._deflected
+        deflected.clear()
+        if losers_by_node:
+            safe_in = self.safe_in
+            in_edges = self._in_edges
+            in_slot_ids = self._in_slot_ids
+            out_edges = self._out_edges
+            out_slot_ids = self._out_slot_ids
+            for node, losers in losers_by_node.items():
+                if len(losers) > 1:
+                    rng.shuffle(losers)
+                safe_here = safe_in.get(node, ())
+                # Safe backward slots first (Lemma 2.1), then unsafe
+                # backward, then forward, mirroring the paper's
+                # backward-deflection rule.  Candidates are ``(edge, slot,
+                # safe)``; only the first ``len(losers)`` are consumed, so
+                # collection stops as soon as enough are found.
+                needed = len(losers)
+                candidates: List[Tuple[EdgeId, int, bool]] = []
+                node_in = in_edges[node]
+                node_in_slots = in_slot_ids[node]
+                if safe_here:
+                    for e, s in zip(node_in, node_in_slots):
+                        if e in safe_here and s not in used_slots:
+                            candidates.append((e, s, True))
+                            if len(candidates) == needed:
+                                break
+                    if len(candidates) < needed:
+                        for e, s in zip(node_in, node_in_slots):
+                            if e not in safe_here and s not in used_slots:
+                                candidates.append((e, s, False))
+                                if len(candidates) == needed:
+                                    break
+                else:
+                    for e, s in zip(node_in, node_in_slots):
+                        if s not in used_slots:
+                            candidates.append((e, s, False))
+                            if len(candidates) == needed:
+                                break
+                if len(candidates) < needed:
+                    for e, s in zip(out_edges[node], out_slot_ids[node]):
+                        if s not in used_slots:
+                            candidates.append((e, s, False))
+                            if len(candidates) == needed:
+                                break
+                node_pending = (
+                    pending_grants.get(node) if pending_grants else None
                 )
-            for pid, (edge, safe) in zip(losers, candidates):
-                direction = net.traversal_direction(edge, node)
-                used_slots.add((edge, direction))
-                deflected.append((pid, edge, safe))
+                while len(candidates) < needed and node_pending:
+                    # Deflected residents must move; revoke an injection
+                    # grant at this node and recycle its slot ("a packet is
+                    # injected at any subsequent step in which there is an
+                    # available link").
+                    revoked, slot = node_pending.pop()
+                    del granted[revoked]
+                    used_slots.discard(slot)
+                    candidates.append((slot >> 1, slot, False))
+                if len(candidates) < needed:
+                    raise CapacityError(
+                        f"step {t}: node {node} has {needed} deflected "
+                        f"packets but only {len(candidates)} free slots"
+                    )
+                for pid, (edge, slot, safe) in zip(losers, candidates):
+                    used_slots.add(slot)
+                    deflected.append((pid, edge, safe))
 
         # -- apply winner moves ---------------------------------------------
-        injecting_at: Dict[NodeId, int] = defaultdict(int)
-        for pid in granted:
-            if self.packets[pid].is_pending:
-                injecting_at[self.packets[pid].node] += 1
+        # Injection-isolation bookkeeping is only needed on steps that
+        # actually inject; compute the occupancy snapshot lazily, before any
+        # packet has moved.
+        occupants: Optional[Dict[NodeId, int]] = None
+        injecting_at: Optional[Dict[NodeId, int]] = None
+        if pending_grants is not None:
+            inject_nodes = set()
+            for pid, (edge, kind) in granted.items():
+                if packets[pid].status is _PENDING:
+                    inject_nodes.add(packets[pid].node)
+            if inject_nodes:
+                occupants = dict.fromkeys(inject_nodes, 0)
+                for pid in self.active_ids:
+                    node = packets[pid].node
+                    if node in occupants:
+                        occupants[node] += 1
+                injecting_at = dict.fromkeys(inject_nodes, 0)
+                for pid in granted:
+                    packet = packets[pid]
+                    if packet.status is _PENDING:
+                        injecting_at[packet.node] += 1
+
+        emit = self.emit
+        is_delivered = router.is_delivered
+        default_delivery = self._default_delivery
+        on_moved = router.on_moved
+        safe_next: Dict[NodeId, Set[EdgeId]] = {}
         for pid, (edge, kind) in granted.items():
-            packet = self.packets[pid]
-            isolated = True
-            if packet.is_pending:
+            packet = packets[pid]
+            if packet.status is _PENDING:
                 isolated = (
                     occupants[packet.node] == 0
                     and injecting_at[packet.node] == 1
                 )
-                packet.status = PacketStatus.ACTIVE
+                packet.status = _ACTIVE
                 packet.injected_at = t
                 self.eligible.discard(pid)
                 self.num_active += 1
                 self.active_ids[pid] = None
                 if tracing:
-                    self.emit(
+                    emit(
                         TraceEvent(
                             t,
                             EventKind.INJECT,
@@ -260,62 +390,116 @@ class Engine:
                         )
                     )
                 router.on_injected(pid, t, isolated)
-            self._apply_move(packet, edge, kind)
+            # Inlined move application (see Packet.apply_follow/apply_reverse
+            # for the reference semantics and Section 2.3 for the rules).
+            node = packet.node
+            if kind is _FOLLOW:
+                path = packet.path
+                if not path:
+                    raise SimulationError(
+                        f"packet {pid} has an empty current path at node "
+                        f"{node}"
+                    )
+                if path[0] != edge:
+                    raise SimulationError(
+                        f"packet {pid}: FOLLOW move on edge {edge} but "
+                        f"path head is {path[0]}"
+                    )
+                path.popleft()
+            elif kind is _REVERSE:
+                packet.path.appendleft(edge)
+            if node == edge_src[edge]:
+                direction = _FORWARD
+                packet.node = edge_dst[edge]
+            else:
+                direction = _BACKWARD
+                packet.node = edge_src[edge]
+                packet.backward_moves += 1
+            packet.last_edge = edge
+            packet.last_direction = direction
+            packet.moves += 1
+            if direction is _FORWARD and kind is not _REVERSE:
+                dest_safe = safe_next.get(packet.node)
+                if dest_safe is None:
+                    safe_next[packet.node] = {edge}
+                else:
+                    dest_safe.add(edge)
             if tracing:
-                self.emit(
+                emit(
                     TraceEvent(
                         t,
                         EventKind.MOVE,
                         packet=pid,
                         node=packet.node,
                         edge=edge,
-                        direction=packet.last_direction,
+                        direction=direction,
                     )
                 )
-            if router.is_delivered(pid):
+            if (
+                (not packet.path and packet.node == packet.destination)
+                if default_delivery
+                else is_delivered(pid)
+            ):
                 self._absorb(packet, t)
             else:
-                router.on_moved(pid, t, edge)
+                on_moved(pid, t, edge)
 
         # -- apply deflections ----------------------------------------------
-        deflection_kind = getattr(router, "deflection_kind", MoveKind.REVERSE)
-        for pid, edge, safe in deflected:
-            packet = self.packets[pid]
-            self._apply_move(packet, edge, deflection_kind)
-            packet.deflections += 1
-            if not safe:
-                packet.unsafe_deflections += 1
-                self.unsafe_deflections += 1
-            if tracing:
-                self.emit(
-                    TraceEvent(
-                        t,
-                        EventKind.DEFLECT
-                        if safe
-                        else EventKind.UNSAFE_DEFLECT,
-                        packet=pid,
-                        node=packet.node,
-                        edge=edge,
-                        direction=packet.last_direction,
+        if deflected:
+            deflection_kind = getattr(
+                router, "deflection_kind", MoveKind.REVERSE
+            )
+            on_deflected = router.on_deflected
+            for pid, edge, safe in deflected:
+                packet = packets[pid]
+                if deflection_kind is _FOLLOW:
+                    packet.apply_follow(self.net, edge)
+                else:
+                    if deflection_kind is _REVERSE:
+                        packet.path.appendleft(edge)
+                    node = packet.node
+                    if node == edge_src[edge]:
+                        packet.last_direction = _FORWARD
+                        packet.node = edge_dst[edge]
+                    else:
+                        packet.last_direction = _BACKWARD
+                        packet.node = edge_src[edge]
+                        packet.backward_moves += 1
+                    packet.last_edge = edge
+                    packet.moves += 1
+                packet.deflections += 1
+                if not safe:
+                    packet.unsafe_deflections += 1
+                    self.unsafe_deflections += 1
+                if tracing:
+                    emit(
+                        TraceEvent(
+                            t,
+                            EventKind.DEFLECT
+                            if safe
+                            else EventKind.UNSAFE_DEFLECT,
+                            packet=pid,
+                            node=packet.node,
+                            edge=edge,
+                            direction=packet.last_direction,
+                        )
                     )
-                )
-            if router.is_delivered(pid):
-                # Possible for path-less routers deflected into their
-                # destination; path routers never deliver by deflection.
-                self._absorb(packet, t)
-            else:
-                router.on_deflected(pid, t, edge, safe)
+                if (
+                    (not packet.path and packet.node == packet.destination)
+                    if default_delivery
+                    else is_delivered(pid)
+                ):
+                    # Possible for path-less routers deflected into their
+                    # destination; path routers never deliver by deflection.
+                    self._absorb(packet, t)
+                else:
+                    on_deflected(pid, t, edge, safe)
 
         # -- safety bookkeeping for the next step ---------------------------
-        safe_next: Dict[NodeId, Set[EdgeId]] = defaultdict(set)
-        for pid, (edge, kind) in granted.items():
-            packet = self.packets[pid]
-            if (
-                packet.last_direction is Direction.FORWARD
-                and kind is not MoveKind.REVERSE
-            ):
-                safe_next[packet.node].add(edge)
-        self.safe_in = dict(safe_next)
+        # ``safe_next`` was accumulated while applying winner moves; granted
+        # and deflected packet sets are disjoint, so deflections cannot
+        # invalidate it.
+        self.safe_in = safe_next
 
         router.post_step(t)
         for hook in self.post_step_hooks:

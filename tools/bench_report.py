@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness: engine steps/sec and trial throughput.
+
+Writes two machine-readable reports at the repo root so the performance
+trajectory of the simulator is tracked PR over PR:
+
+* ``BENCH_engine.json``  — raw engine stepping throughput (steps/sec) on
+  pinned instances, compared against the recorded baseline in
+  ``tools/bench_baseline.json``;
+* ``BENCH_trials.json``  — end-to-end trial throughput (trials/sec) of the
+  seeded experiment runner, serial vs. parallel, including a byte-identity
+  check between the two modes.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py              # full run
+    PYTHONPATH=src python tools/bench_report.py --smoke      # quick CI run
+    PYTHONPATH=src python tools/bench_report.py --capture-baseline
+
+``--capture-baseline`` re-times the engine cases and records them as the
+new reference in ``tools/bench_baseline.json``; run it once per machine (or
+deliberately after an intentional perf change) so later full runs report an
+honest speedup ratio.  See docs/performance.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(1, str(REPO_ROOT / "benchmarks"))
+
+from _common import write_bench_json  # noqa: E402  (benchmarks/_common.py)
+
+BASELINE_PATH = REPO_ROOT / "tools" / "bench_baseline.json"
+ENGINE_REPORT_PATH = REPO_ROOT / "BENCH_engine.json"
+TRIALS_REPORT_PATH = REPO_ROOT / "BENCH_trials.json"
+
+SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------- engine cases
+
+
+def _engine_cases(smoke: bool):
+    """Pinned engine-stepping workloads: ``name -> (factory, max_steps)``.
+
+    Each factory returns a fresh ``(problem, router, engine_kwargs)`` triple;
+    instances are fixed-seed so every run times the same work.
+
+    * ``naive_deep_random`` / ``naive_hotrow`` are *dense*: every step moves
+      tens of packets, and the router body is two attribute lookups, so
+      their steps/sec is the cleanest signal for per-packet hot-loop cost
+      (arbitration, deflection matching, move application).
+    * ``frontier_sparse`` disables the quiescence fast-forward so thousands
+      of near-empty oscillation steps execute; it measures the fixed
+      per-step overhead.
+    """
+    from repro.baselines import NaivePathRouter
+    from repro.core import AlgorithmParams, FrontierFrameRouter
+    from repro.experiments import (
+        butterfly_hotrow_instance,
+        butterfly_random_instance,
+        deep_random_instance,
+    )
+
+    cases = {}
+
+    if smoke:
+        deep = deep_random_instance(24, 8, 24, seed=7, low_congestion=False)
+    else:
+        deep = deep_random_instance(64, 16, 60, seed=7, low_congestion=False)
+    cases["naive_deep_random"] = (lambda: (deep, NaivePathRouter(), {}), 5000)
+
+    hotrow = butterfly_hotrow_instance(5 if smoke else 7, 24 if smoke else 96, seed=3)
+    cases["naive_hotrow"] = (lambda: (hotrow, NaivePathRouter(), {}), 20000)
+
+    bfly = butterfly_random_instance(4, seed=1234)
+    params = AlgorithmParams.practical(
+        max(1, bfly.congestion), bfly.net.depth, bfly.num_packets,
+        m=6, w_factor=6.0,
+    )
+    cases["frontier_sparse"] = (
+        lambda: (
+            bfly,
+            FrontierFrameRouter(params, seed=1),
+            {"enable_fast_forward": False},
+        ),
+        params.total_steps,
+    )
+    return cases
+
+
+def _one_run(factory, max_steps: int):
+    from repro.sim import Engine
+
+    problem, router, engine_kwargs = factory()
+    engine = Engine(problem, router, seed=0, **engine_kwargs)
+    start = time.perf_counter()
+    result = engine.run(max_steps)
+    return result, time.perf_counter() - start
+
+
+def time_engine_case(
+    factory, max_steps: int, repeats: int, target_sec: float
+) -> dict:
+    """Best-of-``repeats`` throughput over batches of whole engine runs.
+
+    A single run of the pinned instances lasts milliseconds, so each timed
+    sample executes the run ``inner`` times (auto-calibrated to roughly
+    ``target_sec`` of work) and reports aggregate steps/sec.
+    """
+    result, elapsed = _one_run(factory, max_steps)  # warm-up + calibration
+    inner = max(1, int(target_sec / max(elapsed, 1e-9)))
+
+    best = None
+    for _ in range(repeats):
+        steps = moves = 0
+        start = time.perf_counter()
+        for _ in range(inner):
+            result, _ = _one_run(factory, max_steps)
+            steps += result.steps_executed
+            moves += result.total_moves
+        elapsed = time.perf_counter() - start
+        sps = steps / elapsed if elapsed > 0 else float("inf")
+        if best is None or sps > best["steps_per_sec"]:
+            best = {
+                "steps_per_sec": round(sps, 1),
+                "moves_per_sec": round(moves / elapsed, 1),
+                "steps_executed": steps,
+                "elapsed_sec": round(elapsed, 4),
+                "runs_per_sample": inner,
+                "delivered": result.delivered,
+                "num_packets": result.num_packets,
+            }
+    best["repeats"] = repeats
+    return best
+
+
+def run_engine_bench(smoke: bool, repeats: int) -> dict:
+    target_sec = 0.1 if smoke else 0.5
+    cases = {}
+    for name, (factory, max_steps) in _engine_cases(smoke).items():
+        print(f"[engine] timing {name} ...", flush=True)
+        cases[name] = time_engine_case(factory, max_steps, repeats, target_sec)
+        print(
+            f"[engine]   {cases[name]['steps_per_sec']:>10.1f} steps/sec "
+            f"({cases[name]['steps_executed']} steps in "
+            f"{cases[name]['elapsed_sec']}s)"
+        )
+    return cases
+
+
+# ---------------------------------------------------------------- trial cases
+
+
+def _trial_problem_factory(seed: int):
+    from repro.experiments import butterfly_random_instance
+
+    return butterfly_random_instance(4, seed=seed)
+
+
+def run_trials_bench(smoke: bool, workers: int) -> dict:
+    """Serial vs. parallel trial throughput + result-identity check."""
+    from repro.experiments import run_frontier_trials
+
+    num_trials = 4 if smoke else 12
+    seeds = list(range(num_trials))
+    kwargs = dict(m=8, w_factor=8.0)
+
+    print(f"[trials] {num_trials} frontier trials, serial ...", flush=True)
+    start = time.perf_counter()
+    serial = run_frontier_trials(
+        _trial_problem_factory, seeds, workers=1, **kwargs
+    )
+    serial_elapsed = time.perf_counter() - start
+
+    print(f"[trials] same trials, workers={workers} ...", flush=True)
+    start = time.perf_counter()
+    parallel = run_frontier_trials(
+        _trial_problem_factory, seeds, workers=workers, **kwargs
+    )
+    parallel_elapsed = time.perf_counter() - start
+
+    identical = _records_identical(serial, parallel)
+    speedup = serial_elapsed / parallel_elapsed if parallel_elapsed > 0 else 0.0
+    report = {
+        "num_trials": num_trials,
+        "workers": workers,
+        "serial_elapsed_sec": round(serial_elapsed, 3),
+        "parallel_elapsed_sec": round(parallel_elapsed, 3),
+        "serial_trials_per_sec": round(num_trials / serial_elapsed, 3),
+        "parallel_trials_per_sec": round(num_trials / parallel_elapsed, 3),
+        "parallel_speedup": round(speedup, 3),
+        "serial_parallel_identical": identical,
+    }
+    print(
+        f"[trials] serial {serial_elapsed:.2f}s, parallel "
+        f"{parallel_elapsed:.2f}s ({speedup:.2f}x), identical={identical}"
+    )
+    return report
+
+
+def _records_identical(a, b) -> bool:
+    """Byte-identity of two trial-record lists (via canonical JSON)."""
+    return _records_blob(a) == _records_blob(b)
+
+
+def _records_blob(records) -> bytes:
+    from dataclasses import asdict
+
+    payload = [
+        {"seed": r.seed, "result": asdict(r.result)} for r in records
+    ]
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+# ------------------------------------------------------------------ reporting
+
+
+def environment_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def write_json(path: pathlib.Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small instances / few repeats (CI smoke job)",
+    )
+    parser.add_argument(
+        "--capture-baseline", action="store_true",
+        help="record current engine numbers as tools/bench_baseline.json",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel worker count for the trial benchmark (default 4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="engine timing repeats (default 3, or 1 with --smoke)",
+    )
+    parser.add_argument(
+        "--engine-only", action="store_true",
+        help="skip the trial-throughput benchmark",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.smoke else 3)
+    engine_cases = run_engine_bench(args.smoke, repeats)
+
+    if args.capture_baseline:
+        write_json(
+            BASELINE_PATH,
+            {
+                "schema": SCHEMA_VERSION,
+                "smoke": args.smoke,
+                "environment": environment_info(),
+                "cases": engine_cases,
+            },
+        )
+        return 0
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    engine_report = {
+        "schema": SCHEMA_VERSION,
+        "smoke": args.smoke,
+        "environment": environment_info(),
+        "cases": engine_cases,
+        "baseline": baseline["cases"] if baseline else None,
+    }
+    if baseline:
+        speedups = {}
+        for name, case in engine_cases.items():
+            ref = baseline["cases"].get(name)
+            if ref and ref["steps_per_sec"] > 0:
+                speedups[name] = round(
+                    case["steps_per_sec"] / ref["steps_per_sec"], 3
+                )
+        engine_report["speedup_vs_baseline"] = speedups
+        for name, ratio in speedups.items():
+            print(f"[engine] {name}: {ratio:.2f}x vs baseline")
+    print(f"wrote {write_bench_json('engine', engine_report)}")
+
+    if not args.engine_only:
+        trials_report = {
+            "schema": SCHEMA_VERSION,
+            "smoke": args.smoke,
+            "environment": environment_info(),
+            **run_trials_bench(args.smoke, args.workers),
+        }
+        print(f"wrote {write_bench_json('trials', trials_report)}")
+        if not trials_report["serial_parallel_identical"]:
+            print("ERROR: serial and parallel trial results differ", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

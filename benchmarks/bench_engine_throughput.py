@@ -11,11 +11,12 @@ import pytest
 from repro.baselines import NaivePathRouter
 from repro.core import AlgorithmParams, FrontierFrameRouter
 from repro.experiments import (
-    butterfly_random_instance,
-    deep_random_instance,
-    run_frontier_trials,
+    butterfly_random_spec,
+    deep_random_spec,
+    run_spec_trials,
 )
 from repro.net import butterfly
+from repro.scenarios import build_problem
 from repro.sim import Engine
 
 from _common import bench_workers, once
@@ -23,7 +24,7 @@ from _common import bench_workers, once
 
 @pytest.fixture(scope="module")
 def big_problem():
-    return deep_random_instance(32, 8, 24, seed=7, low_congestion=False)
+    return build_problem(deep_random_spec(32, 8, 24, seed=7, low_congestion=False))
 
 
 def test_throughput_naive_router(benchmark, big_problem):
@@ -81,27 +82,20 @@ def test_throughput_topology_construction(benchmark):
     assert net.num_nodes == 9 * 256
 
 
-def _trial_problem(seed):
-    return butterfly_random_instance(4, seed=seed)
-
-
 def test_throughput_trial_sweep(benchmark):
-    """End-to-end trial throughput via the experiment runner.
+    """End-to-end spec throughput via the scenario dispatcher.
 
     Honors ``$REPRO_BENCH_WORKERS`` (see ``repro experiment --workers``);
     the records are identical at any worker count, so this tracks sweep
     wall-clock only.
     """
-    seeds = list(range(8))
+    specs = [
+        butterfly_random_spec(4, seed=seed, m=8, w_factor=8.0)
+        for seed in range(8)
+    ]
 
     def run():
-        return run_frontier_trials(
-            _trial_problem,
-            seeds,
-            workers=bench_workers(),
-            m=8,
-            w_factor=8.0,
-        )
+        return run_spec_trials(specs, workers=bench_workers())
 
     records = once(benchmark, run)
     assert all(r.result.all_delivered for r in records)

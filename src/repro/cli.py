@@ -1,125 +1,219 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the interactive workflows:
+The interactive workflows all funnel into the scenario layer
+(:mod:`repro.scenarios`): ``route``, ``sweep``, and ``dynamic`` translate
+their flags into a :class:`~repro.scenarios.RunSpec` and dispatch it, and
+the spec-native commands expose the catalog directly:
 
 * ``topo``    — build a named topology, validate it, print its profile;
 * ``params``  — show the algorithm parameters (practical and theory-exact)
   for a given (C, L, N);
 * ``frames``  — render the Figure-2 film strip for a parameterization;
-* ``route``   — build an instance, route it with a chosen router, print
-  the result summary (optionally with the invariant audit).
+* ``route``   — build an instance, route it with a chosen backend;
+* ``sweep``   — seeded multi-trial frontier sweep (optionally parallel);
+* ``dynamic`` — continuous-injection routing (T9-style);
+* ``list``    — show the catalog specs and every registered component;
+* ``spec``    — print (or write) a catalog spec as JSON;
+* ``run``     — run a spec from a JSON file, optionally result-cached.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from .analysis import format_kv
-from .core import (
-    AlgorithmParams,
-    FrameGeometry,
-    FrontierFrameRouter,
-    audited_run,
-    compute_theory_values,
+from .core import AlgorithmParams, FrameGeometry, compute_theory_values
+from .errors import ReproError, WorkloadError
+from .net import LeveledNetwork, profile, validate_leveled
+from .paths import RoutingProblem
+from .scenarios import (
+    PATH_SELECTORS,
+    TOPOLOGIES,
+    WORKLOADS,
+    RunSpec,
+    build_network,
+    load_spec,
+    run_cached,
+    run_trial,
+    save_spec,
 )
-from .errors import ReproError
-from .net import (
-    LeveledNetwork,
-    butterfly,
-    complete_binary_tree,
-    fat_tree,
-    hypercube,
-    line,
-    mesh,
-    omega_network,
-    profile,
-    random_leveled,
-    validate_leveled,
-)
-from .paths import (
-    RoutingProblem,
-    select_paths_bit_fixing,
-    select_paths_bottleneck,
-    select_paths_random,
-)
-from .sim import Engine
-from .workloads import (
-    butterfly_workloads,
-    hotspot,
-    random_many_to_one,
-)
+from .scenarios.registry import UnknownNameError
+
+# ------------------------------------------------------- topology spec syntax
+#
+# ``name:arg1:arg2`` shorthand over the topology registry.  Each parser maps
+# the positional ``rest`` onto the registered builder's keyword parameters;
+# registry names without a parser here are reachable via ``repro run --spec``.
 
 
-def build_topology(spec: str, seed: int = 0) -> LeveledNetwork:
-    """Parse ``name:arg1:arg2`` topology specs.
+def _parse_grid(rest: str) -> Tuple[int, int]:
+    first, _, second = rest.partition("x")
+    return int(first), int(second or first)
+
+
+def _topo_args_butterfly(rest: str) -> dict:
+    return {"dim": int(rest)}
+
+
+def _topo_args_mesh(rest: str) -> dict:
+    rows, cols = _parse_grid(rest)
+    return {"rows": rows, "cols": cols}
+
+
+def _topo_args_line(rest: str) -> dict:
+    return {"length": int(rest)}
+
+
+def _topo_args_height(rest: str) -> dict:
+    return {"height": int(rest)}
+
+
+def _topo_args_diamond(rest: str) -> dict:
+    width, depth = _parse_grid(rest)
+    return {"width": width, "depth": depth}
+
+
+def _topo_args_random(rest: str) -> dict:
+    width, _, depth = rest.partition("x")
+    return {"width": int(width), "depth": int(depth)}
+
+
+_TOPOLOGY_ARG_PARSERS = {
+    "butterfly": _topo_args_butterfly,
+    "hypercube": _topo_args_butterfly,
+    "omega": _topo_args_butterfly,
+    "benes": _topo_args_butterfly,
+    "mesh": _topo_args_mesh,
+    "line": _topo_args_line,
+    "fattree": _topo_args_height,
+    "fat_tree": _topo_args_height,
+    "btree": _topo_args_height,
+    "diamond": _topo_args_diamond,
+    "random": _topo_args_random,
+    "random_leveled": _topo_args_random,
+}
+
+#: Topologies whose builder actually consumes the seed; only these carry an
+#: explicit seed in the specs the CLI constructs.
+_SEEDED_TOPOLOGIES = frozenset({"random", "random_leveled"})
+
+
+def parse_topology(spec: str, seed: int = 0) -> Tuple[str, dict]:
+    """Parse ``name:arg1:arg2`` shorthand into (registry name, params).
 
     Examples: ``butterfly:5``, ``mesh:8x8``, ``hypercube:5``, ``line:20``,
     ``omega:4``, ``fattree:4``, ``btree:4``, ``random:6x20`` (width x depth).
     """
     name, _, rest = spec.partition(":")
     name = name.lower()
+    parser = _TOPOLOGY_ARG_PARSERS.get(name)
+    if parser is None:
+        # Unknown names get the registry's suggestion-bearing error; names
+        # that are registered but take structured parameters (multidim,
+        # layered, ...) are only reachable through spec files.
+        TOPOLOGIES.get(name)
+        raise SystemExit(
+            f"topology {name!r} takes structured parameters; run it via "
+            "'repro run --spec' instead"
+        )
     try:
-        if name == "butterfly":
-            return butterfly(int(rest))
-        if name == "mesh":
-            rows, _, cols = rest.partition("x")
-            return mesh(int(rows), int(cols or rows))
-        if name == "hypercube":
-            return hypercube(int(rest))
-        if name == "line":
-            return line(int(rest))
-        if name == "omega":
-            return omega_network(int(rest))
-        if name == "fattree":
-            return fat_tree(int(rest))
-        if name == "btree":
-            return complete_binary_tree(int(rest))
-        if name == "random":
-            width, _, depth = rest.partition("x")
-            return random_leveled(
-                [int(width)] * (int(depth) + 1),
-                edge_probability=0.5,
-                seed=seed,
-                min_out_degree=2,
-                min_in_degree=2,
-            )
+        params = parser(rest)
     except ValueError as exc:
         raise SystemExit(f"bad topology spec {spec!r}: {exc}") from exc
-    raise SystemExit(
-        f"unknown topology {name!r} (try butterfly:5, mesh:8x8, "
-        "hypercube:5, line:20, omega:4, fattree:4, btree:4, random:6x20)"
-    )
+    if name in _SEEDED_TOPOLOGIES:
+        params["seed"] = seed
+    return name, params
+
+
+def build_topology(spec: str, seed: int = 0) -> LeveledNetwork:
+    """Materialize a ``name:args`` topology spec through the registry."""
+    name, params = parse_topology(spec, seed=seed)
+    builder = TOPOLOGIES.get(name)
+    params.setdefault("seed", seed)
+    return builder(**params)
+
+
+# -------------------------------------------------------- workload shorthand
+#
+# Legacy CLI workload names -> (workload registry name, selector registry
+# name).  Seeds follow the historical convention: the workload draws from
+# ``seed`` and the selector from ``seed + 1``.
+
+_CLI_WORKLOADS: Dict[str, Tuple[str, str]] = {
+    "random": ("random_many_to_one", "random"),
+    "bottleneck": ("random_many_to_one", "bottleneck"),
+    "hotspot": ("hotspot", "random"),
+    "permutation": ("bf_permutation", "bit_fixing"),
+    "hotrow": ("bf_hot_row", "bit_fixing"),
+}
+
+
+def _workload_pair(workload: str) -> Tuple[str, str]:
+    try:
+        return _CLI_WORKLOADS[workload]
+    except KeyError:
+        raise UnknownNameError("workload", workload, _CLI_WORKLOADS) from None
+
+
+def _workload_params(
+    net: Optional[LeveledNetwork], workload: str, packets: Optional[int]
+) -> dict:
+    params: dict = {}
+    if workload == "hotrow" and packets is None and net is not None:
+        # The historical CLI default: half the input rows.
+        packets = len(net.nodes_at_level(0)) // 2
+    if packets is not None and workload != "permutation":
+        params["num_packets"] = packets
+    return params
 
 
 def build_problem(
     net: LeveledNetwork, workload: str, packets: Optional[int], seed: int
 ) -> RoutingProblem:
-    """Build a routing problem from a workload name."""
-    if workload == "random":
-        count = packets or max(2, net.num_nodes // 8)
-        wl = random_many_to_one(net, count, seed=seed)
-        return select_paths_random(net, wl.endpoints, seed=seed + 1)
-    if workload == "bottleneck":
-        count = packets or max(2, net.num_nodes // 8)
-        wl = random_many_to_one(net, count, seed=seed)
-        return select_paths_bottleneck(net, wl.endpoints, seed=seed + 1)
-    if workload == "hotspot":
-        count = packets or max(2, net.num_nodes // 8)
-        wl = hotspot(net, count, seed=seed)
-        return select_paths_random(net, wl.endpoints, seed=seed + 1)
-    if workload == "permutation":
-        wl = butterfly_workloads.full_permutation(net, seed=seed)
-        return select_paths_bit_fixing(net, wl.endpoints)
-    if workload == "hotrow":
-        count = packets or len(net.nodes_at_level(0)) // 2
-        wl = butterfly_workloads.hot_row(net, count, seed=seed)
-        return select_paths_bit_fixing(net, wl.endpoints)
-    raise SystemExit(
-        f"unknown workload {workload!r} (random, bottleneck, hotspot, "
-        "permutation, hotrow)"
+    """Build a routing problem from a legacy CLI workload name."""
+    workload_name, selector_name = _workload_pair(workload)
+    workload_fn = WORKLOADS.get(workload_name)
+    selector_fn = PATH_SELECTORS.get(selector_name)
+    params = _workload_params(net, workload, packets)
+    built = workload_fn(net, seed=seed, **params)
+    return selector_fn(net, built.endpoints, seed=seed + 1)
+
+
+def _cli_spec(
+    net_arg: str,
+    workload: str,
+    packets: Optional[int],
+    seed: int,
+    backend: str,
+    backend_params: Optional[dict] = None,
+    net: Optional[LeveledNetwork] = None,
+) -> RunSpec:
+    """Translate route/sweep flags into a dispatchable spec.
+
+    Component seeds are pinned explicitly (workload ``seed``, selector
+    ``seed + 1``) so the spec reproduces the historical CLI byte-for-byte.
+    """
+    topology, topology_params = parse_topology(net_arg, seed=seed)
+    workload_name, selector_name = _workload_pair(workload)
+    workload_params = _workload_params(net, workload, packets)
+    workload_params["seed"] = seed
+    return RunSpec(
+        name=f"route({net_arg}, {workload}, {backend})",
+        topology=topology,
+        topology_params=topology_params,
+        workload=workload_name,
+        workload_params=workload_params,
+        selector=selector_name,
+        selector_params={"seed": seed + 1},
+        backend=backend,
+        backend_params=backend_params or {},
+        seed=seed,
     )
+
+
+# ------------------------------------------------------------------ commands
 
 
 def cmd_topo(args: argparse.Namespace) -> int:
@@ -184,91 +278,69 @@ def cmd_frames(args: argparse.Namespace) -> int:
 
 def cmd_route(args: argparse.Namespace) -> int:
     net = build_topology(args.net, seed=args.seed)
+    backend_params = {"audit": True} if args.audit else {}
+    spec = _cli_spec(
+        args.net,
+        args.workload,
+        args.packets,
+        args.seed,
+        backend=args.router,
+        backend_params=backend_params,
+        net=net,
+    )
     problem = build_problem(net, args.workload, args.packets, args.seed)
     print(f"instance: {problem.describe()}")
-    if args.router == "frontier":
-        params = AlgorithmParams.practical(
-            max(1, problem.congestion), net.depth, problem.num_packets
-        )
-        router = FrontierFrameRouter(params, seed=args.seed + 2)
-        engine = Engine(problem, router, seed=args.seed + 3)
-        if args.audit:
-            result, report = audited_run(engine)
-            print(result.summary())
-            print(f"audit: {report.summary()}")
-            return 0 if (result.all_delivered and report.ok) else 1
-        result = engine.run(params.total_steps)
-    else:
-        from .baselines import (
-            GreedyHotPotatoRouter,
-            NaivePathRouter,
-            RandomizedGreedyRouter,
-            StoreForwardScheduler,
-        )
-        from .experiments import baseline_budget
-
-        if args.router == "storeforward":
-            result = StoreForwardScheduler(problem, seed=args.seed).run()
-        else:
-            router = {
-                "naive": lambda: NaivePathRouter(),
-                "greedy": lambda: GreedyHotPotatoRouter(seed=args.seed + 2),
-                "randgreedy": lambda: RandomizedGreedyRouter(seed=args.seed + 2),
-            }.get(args.router, lambda: None)()
-            if router is None:
-                raise SystemExit(
-                    f"unknown router {args.router!r} (frontier, naive, "
-                    "greedy, randgreedy, storeforward)"
-                )
-            engine = Engine(problem, router, seed=args.seed + 3)
-            result = engine.run(baseline_budget(problem))
-    print(result.summary())
-    return 0 if result.all_delivered else 1
+    record = run_trial(spec, problem=problem)
+    print(record.result.summary())
+    if record.audit is not None:
+        print(f"audit: {record.audit.summary()}")
+    return 0 if record.ok else 1
 
 
 def cmd_dynamic(args: argparse.Namespace) -> int:
-    from .dynamic import (
-        DynamicGreedyRouter,
-        DynamicNaiveRouter,
-        arrivals_to_problem,
-        bernoulli_arrivals,
-        dynamic_stats,
-        offered_load,
+    topology, topology_params = parse_topology(args.net, seed=args.seed)
+    spec = RunSpec(
+        name=f"dynamic({args.net}, {args.router})",
+        topology=topology,
+        topology_params=topology_params,
+        workload="",
+        selector="none",
+        backend=f"dynamic_{args.router}",
+        backend_params={
+            "rate": args.rate,
+            "horizon": args.horizon,
+            "drain": args.drain,
+        },
+        seed=args.seed,
     )
-
-    net = build_topology(args.net, seed=args.seed)
-    arrivals = bernoulli_arrivals(
-        net, args.rate, horizon=args.horizon, seed=args.seed
-    )
-    if not arrivals:
-        print("no arrivals generated (rate too low?)")
+    net = build_network(spec)
+    try:
+        record = run_trial(spec)
+    except WorkloadError as exc:
+        print(exc)
         return 1
-    problem, times = arrivals_to_problem(net, arrivals, seed=args.seed + 1)
-    if args.router == "greedy":
-        router = DynamicGreedyRouter(times, seed=args.seed + 2)
-    else:
-        router = DynamicNaiveRouter(times)
-    engine = Engine(problem, router, seed=args.seed + 3)
-    result = engine.run(args.horizon + args.drain)
-    stats = dynamic_stats(result, times, [len(s.path) for s in problem])
-    load = offered_load(net, arrivals, args.horizon)
+    result = record.result
+    extra = result.extra
+    offered = int(extra["offered"])
+    delivered = int(extra["delivered"])
+    drained = extra["drained"] == 1.0
     print(f"network   : {net.describe()}")
     print(
         f"traffic   : rate {args.rate}/source/step over {args.horizon} "
-        f"steps -> {len(arrivals)} packets, utilization {load:.2f}"
+        f"steps -> {offered} packets, utilization {extra['offered_load']:.2f}"
     )
     print(
-        f"outcome   : delivered {stats.delivered}/{stats.offered}"
-        f" ({'drained' if stats.drained else 'NOT drained'})"
+        f"outcome   : delivered {delivered}/{offered}"
+        f" ({'drained' if drained else 'NOT drained'})"
     )
     print(
-        f"latency   : mean {stats.mean_latency:.1f}, p50 "
-        f"{stats.p50_latency:.0f}, p95 {stats.p95_latency:.0f}, max "
-        f"{stats.max_latency:.0f} (hop stretch {stats.mean_hop_stretch:.2f})"
+        f"latency   : mean {extra['mean_latency']:.1f}, p50 "
+        f"{extra['p50_latency']:.0f}, p95 {extra['p95_latency']:.0f}, max "
+        f"{extra['max_latency']:.0f} (hop stretch {extra['mean_hop_stretch']:.2f})"
     )
     print(f"deflection: {result.total_deflections} total, "
           f"{result.unsafe_deflections} unsafe")
-    return 0 if stats.drained else 1
+    return 0 if drained else 1
 
 
 def _benchmarks_dir():
@@ -280,30 +352,34 @@ def _benchmarks_dir():
     return candidate if candidate.is_dir() else None
 
 
-def _sweep_problem(net_spec: str, workload: str, packets: Optional[int], seed: int):
-    """Build one sweep instance (module-level so process pools can pickle a
-    ``functools.partial`` of it)."""
-    net = build_topology(net_spec, seed=seed)
-    return build_problem(net, workload, packets, seed)
-
-
 def cmd_sweep(args: argparse.Namespace) -> int:
-    import functools
     import time
 
-    from .experiments import derive_sweep_seeds, run_frontier_trials
+    from .experiments import derive_sweep_seeds, run_spec_trials
 
     if args.trials < 1:
         print("error: --trials must be at least 1", file=sys.stderr)
         return 2
-    factory = functools.partial(
-        _sweep_problem, args.net, args.workload, args.packets
-    )
-    seeds = derive_sweep_seeds(args.seed, args.trials)
+    packets = args.packets
+    if args.workload == "hotrow" and packets is None:
+        # Resolve the net-dependent default once: hot-row only applies to
+        # deterministic (butterfly) topologies, where it is seed-invariant.
+        probe = build_topology(args.net, seed=args.seed)
+        packets = len(probe.nodes_at_level(0)) // 2
+    backend_params = {"audit": True} if args.audit else {}
+    specs = [
+        _cli_spec(
+            args.net,
+            args.workload,
+            packets,
+            seed,
+            backend="frontier",
+            backend_params=backend_params,
+        )
+        for seed in derive_sweep_seeds(args.seed, args.trials)
+    ]
     start = time.perf_counter()
-    records = run_frontier_trials(
-        factory, seeds, workers=args.workers, audit=args.audit
-    )
+    records = run_spec_trials(specs, workers=args.workers)
     elapsed = time.perf_counter() - start
     delivered = sum(1 for r in records if r.result.all_delivered)
     audits_ok = all(r.audit is None or r.audit.ok for r in records)
@@ -389,6 +465,56 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return subprocess.call(command, cwd=str(bench_dir), env=env)
 
 
+def cmd_list(args: argparse.Namespace) -> int:
+    from .experiments import CATALOG
+    from .scenarios import BACKENDS
+
+    print("catalog specs (repro spec <name> / repro run --spec):")
+    for name, spec in CATALOG.items():
+        workload = spec.workload or "-"
+        print(
+            f"  {name:24s} {spec.topology} / {workload} / {spec.selector} "
+            f"-> {spec.backend}"
+        )
+    for title, registry in (
+        ("topologies", TOPOLOGIES),
+        ("workloads", WORKLOADS),
+        ("path selectors", PATH_SELECTORS),
+        ("backends", BACKENDS),
+    ):
+        print(f"\n{title}:")
+        for name, doc in registry.describe().items():
+            print(f"  {name:24s} {doc}")
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    from .experiments import catalog_spec
+
+    spec = catalog_spec(args.name, seed=args.seed)
+    if args.out:
+        save_spec(spec, args.out)
+        print(f"wrote {args.out} ({spec.describe()})")
+    else:
+        print(spec.to_json(indent=2))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    print(f"spec  : {spec.describe()}")
+    if args.cache:
+        record = run_cached(spec, cache=args.cache_dir)
+        if record.cached:
+            print("cache : hit")
+    else:
+        record = run_trial(spec)
+    print(record.result.summary())
+    if record.audit is not None:
+        print(f"audit: {record.audit.summary()}")
+    return 0 if record.ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -427,7 +553,8 @@ def make_parser() -> argparse.ArgumentParser:
     p_route.add_argument(
         "--router",
         default="frontier",
-        help="frontier | naive | greedy | randgreedy | storeforward",
+        help="a backend name: frontier | naive | greedy | randgreedy | "
+        "storeforward | random_delay | bounded_buffer (see 'repro list')",
     )
     p_route.add_argument("--packets", type=int, default=None)
     p_route.add_argument("--seed", type=int, default=0)
@@ -487,6 +614,33 @@ def make_parser() -> argparse.ArgumentParser:
         "(exported as $REPRO_BENCH_WORKERS)",
     )
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_list = sub.add_parser(
+        "list", help="list catalog specs and registered components"
+    )
+    p_list.set_defaults(func=cmd_list)
+
+    p_spec = sub.add_parser(
+        "spec", help="print (or write) a catalog spec as JSON"
+    )
+    p_spec.add_argument("name", help="a catalog entry (see 'repro list')")
+    p_spec.add_argument("--seed", type=int, default=None)
+    p_spec.add_argument("--out", default=None, help="write to this file")
+    p_spec.set_defaults(func=cmd_spec)
+
+    p_run = sub.add_parser("run", help="run a scenario spec from a JSON file")
+    p_run.add_argument("--spec", required=True, help="path to a spec JSON file")
+    p_run.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize the result on disk, keyed by the spec's content hash",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    p_run.set_defaults(func=cmd_run)
     return parser
 
 

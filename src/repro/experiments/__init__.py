@@ -1,4 +1,10 @@
-"""Experiment harness shared by benchmarks/ and examples/."""
+"""Experiment harness shared by benchmarks/ and examples/.
+
+Instances live in :mod:`repro.experiments.configs` as a catalog of named
+:class:`~repro.scenarios.RunSpec` factories; trial execution fans out
+through :mod:`repro.experiments.parallel` and dispatches through the
+scenario layer (:mod:`repro.scenarios`).
+"""
 
 from .runner import (
     TrialRecord,
@@ -15,15 +21,26 @@ from .parallel import (
     resolve_workers,
     run_frontier_trials_parallel,
     run_router_trials,
+    run_spec_trials,
+    run_specs,
     run_trials_for_problem,
 )
 from .configs import (
+    CATALOG,
     butterfly_random_instance,
+    butterfly_random_spec,
     butterfly_hotrow_instance,
+    butterfly_hotrow_spec,
+    catalog_spec,
     deep_random_instance,
-    mesh_monotone_instance,
-    mesh_corner_shift_instance,
+    deep_random_spec,
+    dynamic_spec,
     funnel_instance,
+    funnel_spec,
+    mesh_monotone_instance,
+    mesh_monotone_spec,
+    mesh_corner_shift_instance,
+    mesh_corner_shift_spec,
     small_audit_suite,
     baseline_budget,
     BASELINE_BUDGET_FACTOR,
@@ -42,13 +59,24 @@ __all__ = [
     "resolve_workers",
     "run_frontier_trials_parallel",
     "run_router_trials",
+    "run_spec_trials",
+    "run_specs",
     "run_trials_for_problem",
+    "CATALOG",
+    "catalog_spec",
     "butterfly_random_instance",
+    "butterfly_random_spec",
     "butterfly_hotrow_instance",
+    "butterfly_hotrow_spec",
     "deep_random_instance",
+    "deep_random_spec",
+    "dynamic_spec",
     "mesh_monotone_instance",
+    "mesh_monotone_spec",
     "mesh_corner_shift_instance",
+    "mesh_corner_shift_spec",
     "funnel_instance",
+    "funnel_spec",
     "small_audit_suite",
     "baseline_budget",
     "BASELINE_BUDGET_FACTOR",

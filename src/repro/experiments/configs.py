@@ -1,35 +1,244 @@
-"""Canonical experiment instances.
+"""The experiment catalog: canonical instances as named, serializable specs.
 
-Each builder returns a labeled :class:`~repro.paths.RoutingProblem` used by
-one or more benches; centralizing them here keeps EXPERIMENTS.md's "workload
-and parameters" column authoritative.
+Every canonical instance used by the benches and docs is defined here as a
+:class:`~repro.scenarios.RunSpec` factory, and the legacy instance builders
+(:func:`butterfly_random_instance`, ...) are thin wrappers that materialize
+the corresponding spec through the scenario dispatcher — so EXPERIMENTS.md's
+"workload and parameters" column, the benches, ``repro list``, and
+``repro run --spec`` all share one source of truth.
+
+Spec factories pin explicit component seeds where the historical builders
+used them, which keeps every materialized instance byte-identical to the
+pre-catalog code (asserted by the golden regression tests).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
-from ..net import butterfly, mesh, random_leveled
-from ..paths import (
-    RoutingProblem,
-    select_paths_bit_fixing,
-    select_paths_bottleneck,
-    select_paths_dimension_order,
-    select_paths_random,
-)
+from ..paths import RoutingProblem
 from ..rng import make_rng, stable_hash_seed
-from ..workloads import (
-    butterfly_workloads,
-    mesh_workloads,
-    random_many_to_one,
-)
+from ..scenarios import RunSpec, build_problem
+from ..scenarios.registry import UnknownNameError
+
+# ------------------------------------------------------------ spec factories
+
+
+def butterfly_random_spec(
+    dim: int = 4, seed: int = 0, backend: str = "frontier", **backend_params
+) -> RunSpec:
+    """Random end-to-end butterfly traffic (unique bit-fixing paths)."""
+    return RunSpec(
+        name=f"butterfly_random(dim={dim})",
+        topology="butterfly",
+        topology_params={"dim": dim},
+        workload="bf_random_end_to_end",
+        workload_params={"seed": seed},
+        selector="bit_fixing",
+        backend=backend,
+        backend_params=backend_params,
+        seed=seed,
+    )
+
+
+def butterfly_hotrow_spec(
+    dim: int = 4,
+    num_packets: int = 8,
+    seed: int = 0,
+    backend: str = "frontier",
+    **backend_params,
+) -> RunSpec:
+    """Hot-row butterfly traffic: congestion ``C = Θ(num_packets)``."""
+    return RunSpec(
+        name=f"butterfly_hotrow(dim={dim}, N={num_packets})",
+        topology="butterfly",
+        topology_params={"dim": dim},
+        workload="bf_hot_row",
+        workload_params={"num_packets": num_packets, "seed": seed},
+        selector="bit_fixing",
+        backend=backend,
+        backend_params=backend_params,
+        seed=seed,
+    )
+
+
+def deep_random_spec(
+    depth: int = 20,
+    width: int = 6,
+    num_packets: int = 12,
+    seed: int = 0,
+    low_congestion: bool = True,
+    backend: str = "frontier",
+    **backend_params,
+) -> RunSpec:
+    """Random many-to-one on a random leveled network (the L-sweep axis).
+
+    Component seeds use the default spec derivation — ``(seed, 11/12/13)``
+    for topology/workload/selector — which is exactly the historical
+    builder's scheme.
+    """
+    return RunSpec(
+        name=f"deep_random(L={depth}, w={width}, N={num_packets})",
+        topology="random_leveled",
+        topology_params={"width": width, "depth": depth},
+        workload="random_many_to_one",
+        workload_params={
+            "num_packets": num_packets,
+            "source_levels": list(range(0, max(1, depth // 4))),
+            "min_dest_level": max(1, (3 * depth) // 4),
+        },
+        selector="bottleneck" if low_congestion else "random",
+        backend=backend,
+        backend_params=backend_params,
+        seed=seed,
+    )
+
+
+def mesh_monotone_spec(
+    n: int = 8,
+    num_packets: int = 16,
+    seed: int = 0,
+    backend: str = "frontier",
+    **backend_params,
+) -> RunSpec:
+    """Section 5's application: monotone traffic + dimension-order paths."""
+    return RunSpec(
+        name=f"mesh_monotone(n={n}, N={num_packets})",
+        topology="mesh",
+        topology_params={"rows": n},
+        workload="mesh_monotone",
+        workload_params={"num_packets": num_packets, "seed": seed},
+        selector="dimension_order",
+        backend=backend,
+        backend_params=backend_params,
+        seed=seed,
+    )
+
+
+def mesh_corner_shift_spec(
+    n: int = 8,
+    block: int | None = None,
+    backend: str = "frontier",
+    **backend_params,
+) -> RunSpec:
+    """Deterministic high-congestion monotone mesh instance."""
+    params = {} if block is None else {"block": block}
+    return RunSpec(
+        name=f"mesh_corner_shift(n={n})",
+        topology="mesh",
+        topology_params={"rows": n},
+        workload="mesh_corner_shift",
+        workload_params=params,
+        selector="dimension_order",
+        backend=backend,
+        backend_params=backend_params,
+        seed=0,
+    )
+
+
+def funnel_spec(
+    dim: int = 4,
+    num_packets: int = 8,
+    seed: int = 0,
+    backend: str = "frontier",
+    **backend_params,
+) -> RunSpec:
+    """Adversarial butterfly instance: every path crosses one edge (C = N)."""
+    return RunSpec(
+        name=f"funnel(dim={dim}, N={num_packets})",
+        topology="butterfly",
+        topology_params={"dim": dim},
+        workload="funnel_through_edge",
+        workload_params={
+            "num_packets": num_packets,
+            "seed": stable_hash_seed(seed, 17),
+        },
+        selector="none",
+        backend=backend,
+        backend_params=backend_params,
+        seed=seed,
+    )
+
+
+def dynamic_spec(
+    dim: int = 4,
+    rate: float = 0.3,
+    horizon: int = 200,
+    drain: int = 50000,
+    seed: int = 0,
+    greedy: bool = True,
+) -> RunSpec:
+    """Continuous Bernoulli injection on a butterfly (experiment T9)."""
+    router = "greedy" if greedy else "naive"
+    return RunSpec(
+        name=f"dynamic_{router}(dim={dim}, rate={rate})",
+        topology="butterfly",
+        topology_params={"dim": dim, "seed": seed},
+        workload="",
+        selector="none",
+        backend=f"dynamic_{router}",
+        backend_params={"rate": rate, "horizon": horizon, "drain": drain},
+        seed=seed,
+    )
+
+
+def _catalog() -> Dict[str, RunSpec]:
+    entries = {
+        "butterfly_random": butterfly_random_spec(4, seed=0),
+        "butterfly_hotrow": butterfly_hotrow_spec(4, 8, seed=0),
+        "deep_random": deep_random_spec(20, 6, 12, seed=0),
+        "mesh_monotone": mesh_monotone_spec(8, 16, seed=0),
+        "mesh_corner_shift": mesh_corner_shift_spec(8),
+        "funnel": funnel_spec(4, 8, seed=0),
+        "butterfly_naive": butterfly_random_spec(4, seed=0, backend="naive"),
+        "butterfly_greedy": butterfly_random_spec(4, seed=0, backend="greedy"),
+        "butterfly_randgreedy": butterfly_random_spec(
+            4, seed=0, backend="randgreedy"
+        ),
+        "butterfly_storeforward": butterfly_random_spec(
+            4, seed=0, backend="storeforward"
+        ),
+        "butterfly_random_delay": butterfly_random_spec(
+            4, seed=0, backend="random_delay"
+        ),
+        "butterfly_bounded_buffer": butterfly_random_spec(
+            4, seed=0, backend="bounded_buffer", buffer_size=2
+        ),
+        "dynamic_naive": dynamic_spec(4, seed=0, greedy=False),
+        "dynamic_greedy": dynamic_spec(4, seed=0, greedy=True),
+    }
+    import dataclasses
+
+    return {
+        key: dataclasses.replace(spec, name=key)
+        for key, spec in entries.items()
+    }
+
+
+#: Named ready-to-run specs (``repro list`` / ``repro spec <name>``), one
+#: per backend family plus the canonical frontier instances.
+CATALOG: Dict[str, RunSpec] = _catalog()
+
+
+def catalog_spec(name: str, seed: int | None = None) -> RunSpec:
+    """Look up a catalog spec by name (optionally re-seeded)."""
+    try:
+        spec = CATALOG[name]
+    except KeyError:
+        raise UnknownNameError("catalog spec", name, CATALOG) from None
+    return spec if seed is None else spec.with_seed(seed)
+
+
+# ----------------------------------------------------- legacy instance views
+#
+# The historical builder API, now materialized through the dispatcher.  The
+# golden regression tests pin that these produce byte-identical instances
+# to the pre-catalog hand-wired builders.
 
 
 def butterfly_random_instance(dim: int, seed: int) -> RoutingProblem:
     """Random end-to-end traffic on a butterfly (unique bit-fixing paths)."""
-    net = butterfly(dim)
-    workload = butterfly_workloads.random_end_to_end(net, seed=seed)
-    return select_paths_bit_fixing(net, workload.endpoints)
+    return build_problem(butterfly_random_spec(dim, seed=seed))
 
 
 def butterfly_hotrow_instance(dim: int, num_packets: int, seed: int) -> RoutingProblem:
@@ -37,9 +246,7 @@ def butterfly_hotrow_instance(dim: int, num_packets: int, seed: int) -> RoutingP
 
     The C-sweep axis of experiment T1 (depth fixed at ``dim``).
     """
-    net = butterfly(dim)
-    workload = butterfly_workloads.hot_row(net, num_packets, seed=seed)
-    return select_paths_bit_fixing(net, workload.endpoints)
+    return build_problem(butterfly_hotrow_spec(dim, num_packets, seed=seed))
 
 
 def deep_random_instance(
@@ -54,46 +261,26 @@ def deep_random_instance(
     The L-sweep axis of experiment T1 (congestion held low by bottleneck
     path selection when ``low_congestion``).
     """
-    net = random_leveled(
-        [width] * (depth + 1),
-        edge_probability=0.5,
-        seed=stable_hash_seed(seed, 11),
-        min_out_degree=2,
-        min_in_degree=2,
+    return build_problem(
+        deep_random_spec(
+            depth, width, num_packets, seed=seed, low_congestion=low_congestion
+        )
     )
-    workload = random_many_to_one(
-        net,
-        num_packets,
-        seed=stable_hash_seed(seed, 12),
-        source_levels=range(0, max(1, depth // 4)),
-        min_dest_level=max(1, (3 * depth) // 4),
-    )
-    selector_seed = stable_hash_seed(seed, 13)
-    if low_congestion:
-        return select_paths_bottleneck(net, workload.endpoints, seed=selector_seed)
-    return select_paths_random(net, workload.endpoints, seed=selector_seed)
 
 
 def mesh_monotone_instance(n: int, num_packets: int, seed: int) -> RoutingProblem:
     """Section 5's application: monotone traffic + dimension-order paths."""
-    net = mesh(n, n)
-    workload = mesh_workloads.monotone_random_pairs(net, num_packets, seed=seed)
-    return select_paths_dimension_order(net, workload.endpoints)
+    return build_problem(mesh_monotone_spec(n, num_packets, seed=seed))
 
 
 def mesh_corner_shift_instance(n: int, block: int | None = None) -> RoutingProblem:
     """Deterministic high-congestion monotone mesh instance."""
-    net = mesh(n, n)
-    workload = mesh_workloads.corner_shift(net, block=block)
-    return select_paths_dimension_order(net, workload.endpoints)
+    return build_problem(mesh_corner_shift_spec(n, block=block))
 
 
 def funnel_instance(dim: int, num_packets: int, seed: int) -> RoutingProblem:
     """Adversarial butterfly instance: every path crosses one edge (C = N)."""
-    from ..workloads import funnel_through_edge
-
-    net = butterfly(dim)
-    return funnel_through_edge(net, num_packets, seed=stable_hash_seed(seed, 17))
+    return build_problem(funnel_spec(dim, num_packets, seed=seed))
 
 
 def small_audit_suite(seed: int) -> List[Tuple[str, RoutingProblem]]:

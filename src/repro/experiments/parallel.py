@@ -99,6 +99,18 @@ def _router_trial_task(
     return run_router_trial(problem, router_factory, seed, max_steps)
 
 
+def _spec_trial_task(spec):
+    from ..scenarios import run_trial
+
+    return run_trial(spec)
+
+
+def _spec_cached_task(cache_root, spec):
+    from ..scenarios import run_cached
+
+    return run_cached(spec, cache_root)
+
+
 # ---------------------------------------------------------------- sweep API
 
 
@@ -153,6 +165,45 @@ def run_router_trials(
         _router_trial_task, problem, router_factory, max_steps
     )
     return parallel_map(task, seeds, workers=workers, chunksize=chunksize)
+
+
+def run_spec_trials(
+    specs: Sequence,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    cache=None,
+):
+    """Dispatch a list of :class:`~repro.scenarios.RunSpec` (serial/parallel).
+
+    The scenario-layer sweep primitive: each spec runs through
+    :func:`repro.scenarios.run_trial` (or :func:`~repro.scenarios.run_cached`
+    when ``cache`` names a cache directory), records come back in spec
+    order, and — because a spec's outcome is a pure function of its content
+    — serial and parallel runs are byte-identical.  Specs are plain data,
+    so they pickle across the pool by construction.
+    """
+    if cache is not None:
+        import pathlib
+
+        root = getattr(cache, "root", cache)
+        task = functools.partial(_spec_cached_task, pathlib.Path(root))
+        return parallel_map(task, specs, workers=workers, chunksize=chunksize)
+    return parallel_map(_spec_trial_task, specs, workers=workers, chunksize=chunksize)
+
+
+def run_specs(
+    specs: Sequence,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    cache=None,
+) -> List[RunResult]:
+    """Like :func:`run_spec_trials`, returning bare results."""
+    return [
+        record.result
+        for record in run_spec_trials(
+            specs, workers=workers, chunksize=chunksize, cache=cache
+        )
+    ]
 
 
 def env_workers(default: int = 1) -> int:

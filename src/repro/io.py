@@ -95,6 +95,22 @@ def result_to_dict(result: RunResult) -> dict:
     return record
 
 
+def result_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`result_to_dict` (used by the scenario result cache)."""
+    kind = data.get("kind", "run_result")
+    if kind != "run_result":
+        raise ReproError(f"not a run-result record: kind={kind!r}")
+    fields = {
+        key: value
+        for key, value in data.items()
+        if key not in ("format", "kind")
+    }
+    try:
+        return RunResult(**fields)
+    except TypeError as exc:
+        raise ReproError(f"malformed run-result record: {exc}") from exc
+
+
 def save_json(data: dict, path: PathLike) -> None:
     """Write a record produced by the ``*_to_dict`` functions."""
     pathlib.Path(path).write_text(

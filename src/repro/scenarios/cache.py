@@ -1,0 +1,97 @@
+"""On-disk result cache keyed by spec content hash.
+
+Scenario runs are pure functions of their :class:`~repro.scenarios.RunSpec`
+(single-seed determinism is the repo's core invariant), so results can be
+memoized on disk: the cache key is :meth:`RunSpec.content_hash` and the
+payload stores the full spec dict alongside the serialized
+:class:`~repro.sim.RunResult`, letting a hit verify it belongs to the
+requesting spec (a hash collision or hand-edited file degrades to a miss,
+never to a wrong answer).
+
+The default location is ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` under the
+current directory; sweeps and the CLI pass an explicit directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Optional, Union
+
+from ..io import result_from_dict, result_to_dict
+from ..sim import RunResult
+from .spec import RunSpec
+
+PathLike = Union[str, pathlib.Path]
+
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIRNAME = ".repro_cache"
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """Directory of ``<content_hash>.json`` result records."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """Cache at ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+        root = os.environ.get(CACHE_ENV_VAR) or DEFAULT_CACHE_DIRNAME
+        return cls(root)
+
+    def path_for(self, spec: RunSpec) -> pathlib.Path:
+        """The file that would hold this spec's cached result."""
+        return self.root / f"{spec.content_hash()}.json"
+
+    def load(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("kind") != "scenario_result":
+            return None
+        expected = spec.to_dict()
+        expected.pop("name")
+        stored = dict(payload.get("spec", {}))
+        stored.pop("name", None)
+        if stored != expected:
+            # Hash collision or stale/edited record: treat as a miss.
+            return None
+        try:
+            return result_from_dict(payload["result"])
+        except Exception:
+            return None
+
+    def store(self, spec: RunSpec, result: RunResult) -> pathlib.Path:
+        """Persist one result; returns the record path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "kind": "scenario_result",
+            "format": CACHE_FORMAT,
+            "hash": spec.content_hash(),
+            "spec": spec.to_dict(),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for record in self.root.glob("*.json"):
+                record.unlink()
+                removed += 1
+        return removed

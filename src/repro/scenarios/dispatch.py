@@ -1,0 +1,145 @@
+"""The single ``run(spec)`` entry point over all backend families.
+
+The dispatcher materializes a :class:`~repro.scenarios.RunSpec` in stages —
+topology, workload, path selection, backend — resolving each name through
+its registry, and returns the same :class:`~repro.sim.RunResult` record the
+legacy hand-wired call paths produced (pinned by
+``tests/test_scenarios.py``).  Batch backends consume a
+:class:`~repro.paths.RoutingProblem`; dynamic backends (registered with
+``needs="network"``) consume the bare network and generate their own timed
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+from ..net import LeveledNetwork
+from ..paths import RoutingProblem
+from ..sim import RunResult
+from ..workloads import Workload
+from .registry import BACKENDS, PATH_SELECTORS, TOPOLOGIES, WORKLOADS
+from .spec import RunSpec
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of dispatching one spec."""
+
+    spec: RunSpec
+    result: RunResult
+    #: invariant-audit report when the backend was asked to audit
+    audit: Optional[object] = None
+    #: the materialized problem (None for dynamic backends and cache hits)
+    problem: Optional[RoutingProblem] = None
+    #: whether the result came from the on-disk cache
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Delivered everything and (if audited) kept every invariant."""
+        audit_ok = self.audit is None or getattr(self.audit, "ok", True)
+        return self.result.all_delivered and audit_ok
+
+
+def build_network(spec: RunSpec) -> LeveledNetwork:
+    """Materialize the spec's topology."""
+    builder = TOPOLOGIES.get(spec.topology)
+    params = dict(spec.topology_params)
+    params["seed"] = spec.topology_seed()
+    return builder(**params)
+
+
+def build_problem(
+    spec: RunSpec, net: Optional[LeveledNetwork] = None
+) -> RoutingProblem:
+    """Materialize topology + workload + paths into a routing problem."""
+    if net is None:
+        net = build_network(spec)
+    if not spec.workload:
+        raise ReproError(
+            f"spec {spec.name or spec.content_hash()!r} has no workload; "
+            f"only network-level backends ({_network_backend_names()}) "
+            "run without one"
+        )
+    workload_fn = WORKLOADS.get(spec.workload)
+    wparams = dict(spec.workload_params)
+    wparams["seed"] = spec.workload_seed()
+    built = workload_fn(net, **wparams)
+    if isinstance(built, RoutingProblem):
+        # Adversarial workloads carry their paths; a non-trivial selector
+        # would silently be ignored, so reject the combination.
+        if spec.selector not in ("none", "random"):
+            raise ReproError(
+                f"workload {spec.workload!r} already fixes its paths; "
+                f"use selector 'none' (got {spec.selector!r})"
+            )
+        return built
+    if not isinstance(built, Workload):
+        raise ReproError(
+            f"workload {spec.workload!r} returned "
+            f"{type(built).__name__}, expected Workload or RoutingProblem"
+        )
+    selector = PATH_SELECTORS.get(spec.selector)
+    sparams = dict(spec.selector_params)
+    sparams["seed"] = spec.selector_seed()
+    return selector(net, built.endpoints, **sparams)
+
+
+def _network_backend_names() -> str:
+    names = [
+        name
+        for name in BACKENDS.names()
+        if getattr(BACKENDS.get(name), "needs", "problem") == "network"
+    ]
+    return ", ".join(names)
+
+
+def run_trial(
+    spec: RunSpec, problem: Optional[RoutingProblem] = None
+) -> ScenarioRun:
+    """Dispatch one spec and return the full record (result + audit).
+
+    ``problem`` may pass a pre-materialized :func:`build_problem` output to
+    avoid rebuilding (the CLI prints the instance before running it);
+    callers are responsible for it matching the spec.
+    """
+    backend = BACKENDS.get(spec.backend)
+    needs = getattr(backend, "needs", "problem")
+    params = dict(spec.backend_params)
+    if needs == "network":
+        net = build_network(spec)
+        result, audit = backend(net, spec.seed, params)
+        return ScenarioRun(spec=spec, result=result, audit=audit)
+    if problem is None:
+        problem = build_problem(spec)
+    result, audit = backend(problem, spec.seed, params)
+    return ScenarioRun(spec=spec, result=result, audit=audit, problem=problem)
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Run one spec end to end; the universal execution path."""
+    return run_trial(spec).result
+
+
+def run_cached(spec: RunSpec, cache=None) -> ScenarioRun:
+    """Like :func:`run_trial`, backed by an on-disk result cache.
+
+    ``cache`` is a :class:`~repro.scenarios.cache.ResultCache`, a directory
+    path, or None (the default cache location).  Audit reports and
+    materialized problems are not cached; a hit returns the result only.
+    """
+    from .cache import ResultCache
+
+    if cache is None:
+        cache = ResultCache.default()
+    elif not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    hit = cache.load(spec)
+    if hit is not None:
+        return ScenarioRun(spec=spec, result=hit, cached=True)
+    record = run_trial(spec)
+    cache.store(spec, record.result)
+    return record

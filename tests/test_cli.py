@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import build_problem, build_topology, main
+from repro.errors import ReproError
+from repro.scenarios import UnknownNameError
 
 
 class TestTopologySpecs:
@@ -25,8 +27,19 @@ class TestTopologySpecs:
         assert net.depth == depth
 
     def test_unknown_topology(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(UnknownNameError) as excinfo:
             build_topology("torus:4")
+        message = str(excinfo.value)
+        assert "unknown topology 'torus'" in message
+        assert "available:" in message and "butterfly" in message
+
+    def test_typo_suggests_closest_name(self):
+        with pytest.raises(UnknownNameError, match=r"did you mean 'butterfly'\?"):
+            build_topology("buterfly:4")
+
+    def test_unknown_name_is_repro_error(self):
+        # main() maps ReproError to exit code 2 with the message on stderr.
+        assert issubclass(UnknownNameError, ReproError)
 
     def test_bad_arguments(self):
         with pytest.raises(SystemExit):
@@ -51,7 +64,7 @@ class TestWorkloads:
 
     def test_unknown_workload(self):
         net = build_topology("butterfly:3")
-        with pytest.raises(SystemExit):
+        with pytest.raises(UnknownNameError, match="unknown workload 'nope'"):
             build_problem(net, "nope", None, seed=0)
 
 
@@ -114,9 +127,17 @@ class TestCommands:
         assert code == 0, out
         assert "ok" in out
 
-    def test_route_unknown_router(self):
-        with pytest.raises(SystemExit):
-            main(["route", "--router", "quantum"])
+    def test_route_unknown_router(self, capsys):
+        assert main(["route", "--router", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'quantum'" in err
+        assert "available:" in err
+
+    def test_topo_typo_message(self, capsys):
+        assert main(["topo", "buterfly:4"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown topology 'buterfly'" in err
+        assert "(did you mean 'butterfly'?)" in err
 
     def test_experiment_listing(self, capsys):
         assert main(["experiment"]) == 0
@@ -151,3 +172,56 @@ class TestCommands:
         assert code == 0, out
         assert "drained" in out
         assert "latency" in out
+
+
+class TestSpecCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "butterfly_random" in out
+        assert "topologies:" in out and "backends:" in out
+
+    def test_spec_prints_json(self, capsys):
+        assert main(["spec", "butterfly_random"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "run_spec"' in out
+
+    def test_spec_unknown_name(self, capsys):
+        assert main(["spec", "no_such_entry"]) == 2
+        assert "unknown catalog spec" in capsys.readouterr().err
+
+    def test_spec_roundtrip_through_run(self, tmp_path, capsys):
+        target = tmp_path / "spec.json"
+        assert main(["spec", "butterfly_greedy", "--out", str(target)]) == 0
+        assert main(["run", "--spec", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "GreedyHotPotatoRouter" in out and "ok" in out
+
+    def test_run_missing_spec_file(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "absent.json")]) == 2
+        assert "spec file not found" in capsys.readouterr().err
+
+    def test_run_with_cache(self, tmp_path, capsys):
+        target = tmp_path / "spec.json"
+        assert main(["spec", "butterfly_naive", "--out", str(target)]) == 0
+        cache = str(tmp_path / "cache")
+        args = ["run", "--spec", str(target), "--cache", "--cache-dir", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache : hit" not in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache : hit" in second
+        # The cached result is the same record the live run produced.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_sweep_matches_serial(self, capsys):
+        # The sweep output is deterministic for fixed seeds regardless of
+        # worker count.
+        args = ["sweep", "--net", "butterfly:3", "--trials", "3", "--seed", "5"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        line = next(l for l in serial.splitlines() if l.startswith("makespan"))
+        assert line in parallel

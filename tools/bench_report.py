@@ -68,23 +68,30 @@ def _engine_cases(smoke: bool):
     from repro.baselines import NaivePathRouter
     from repro.core import AlgorithmParams, FrontierFrameRouter
     from repro.experiments import (
-        butterfly_hotrow_instance,
-        butterfly_random_instance,
-        deep_random_instance,
+        butterfly_hotrow_spec,
+        butterfly_random_spec,
+        deep_random_spec,
     )
+    from repro.scenarios import build_problem
 
     cases = {}
 
     if smoke:
-        deep = deep_random_instance(24, 8, 24, seed=7, low_congestion=False)
+        deep = build_problem(
+            deep_random_spec(24, 8, 24, seed=7, low_congestion=False)
+        )
     else:
-        deep = deep_random_instance(64, 16, 60, seed=7, low_congestion=False)
+        deep = build_problem(
+            deep_random_spec(64, 16, 60, seed=7, low_congestion=False)
+        )
     cases["naive_deep_random"] = (lambda: (deep, NaivePathRouter(), {}), 5000)
 
-    hotrow = butterfly_hotrow_instance(5 if smoke else 7, 24 if smoke else 96, seed=3)
+    hotrow = build_problem(
+        butterfly_hotrow_spec(5 if smoke else 7, 24 if smoke else 96, seed=3)
+    )
     cases["naive_hotrow"] = (lambda: (hotrow, NaivePathRouter(), {}), 20000)
 
-    bfly = butterfly_random_instance(4, seed=1234)
+    bfly = build_problem(butterfly_random_spec(4, seed=1234))
     params = AlgorithmParams.practical(
         max(1, bfly.congestion), bfly.net.depth, bfly.num_packets,
         m=6, w_factor=6.0,
@@ -163,32 +170,35 @@ def run_engine_bench(smoke: bool, repeats: int) -> dict:
 # ---------------------------------------------------------------- trial cases
 
 
-def _trial_problem_factory(seed: int):
-    from repro.experiments import butterfly_random_instance
+def _trial_specs(num_trials: int):
+    from repro.experiments import butterfly_random_spec
 
-    return butterfly_random_instance(4, seed=seed)
+    return [
+        butterfly_random_spec(4, seed=seed, m=8, w_factor=8.0)
+        for seed in range(num_trials)
+    ]
 
 
 def run_trials_bench(smoke: bool, workers: int) -> dict:
-    """Serial vs. parallel trial throughput + result-identity check."""
-    from repro.experiments import run_frontier_trials
+    """Serial vs. parallel spec throughput + result-identity check.
+
+    Each trial is a full scenario dispatch — registry lookups, instance
+    build, and the frontier run — so this tracks the end-to-end cost of
+    the ``run(spec)`` pipeline, not just the engine.
+    """
+    from repro.experiments import run_spec_trials
 
     num_trials = 4 if smoke else 12
-    seeds = list(range(num_trials))
-    kwargs = dict(m=8, w_factor=8.0)
+    specs = _trial_specs(num_trials)
 
-    print(f"[trials] {num_trials} frontier trials, serial ...", flush=True)
+    print(f"[trials] {num_trials} frontier specs, serial ...", flush=True)
     start = time.perf_counter()
-    serial = run_frontier_trials(
-        _trial_problem_factory, seeds, workers=1, **kwargs
-    )
+    serial = run_spec_trials(specs, workers=1)
     serial_elapsed = time.perf_counter() - start
 
-    print(f"[trials] same trials, workers={workers} ...", flush=True)
+    print(f"[trials] same specs, workers={workers} ...", flush=True)
     start = time.perf_counter()
-    parallel = run_frontier_trials(
-        _trial_problem_factory, seeds, workers=workers, **kwargs
-    )
+    parallel = run_spec_trials(specs, workers=workers)
     parallel_elapsed = time.perf_counter() - start
 
     identical = _records_identical(serial, parallel)
@@ -219,7 +229,8 @@ def _records_blob(records) -> bytes:
     from dataclasses import asdict
 
     payload = [
-        {"seed": r.seed, "result": asdict(r.result)} for r in records
+        {"spec": r.spec.content_hash(), "result": asdict(r.result)}
+        for r in records
     ]
     return json.dumps(payload, sort_keys=True).encode()
 

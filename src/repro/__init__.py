@@ -30,7 +30,7 @@ or assemble the pieces explicitly::
 """
 
 from ._version import __version__
-from . import net, paths, sim, core, baselines, workloads, analysis, viz, experiments
+from . import net, paths, sim, core, baselines, workloads, analysis, viz, experiments, telemetry
 from .errors import (
     ReproError,
     TopologyError,
@@ -67,6 +67,7 @@ __all__ = [
     "analysis",
     "viz",
     "experiments",
+    "telemetry",
     "ReproError",
     "TopologyError",
     "PathError",

@@ -25,7 +25,7 @@ from .fitting import (
     fit_power_law,
     correlation,
 )
-from .report import format_table, format_kv, print_table
+from .report import format_table, format_kv, format_bar, print_table
 
 __all__ = [
     "Summary",
@@ -53,5 +53,6 @@ __all__ = [
     "correlation",
     "format_table",
     "format_kv",
+    "format_bar",
     "print_table",
 ]

@@ -62,6 +62,18 @@ def format_kv(pairs: dict, title: str | None = None) -> str:
     return "\n".join(lines)
 
 
+def format_bar(value: float, maximum: float, width: int = 20) -> str:
+    """A proportional unicode bar (``repro report``'s activity columns).
+
+    ``value == maximum`` fills ``width`` cells; any nonzero value shows at
+    least one cell so small-but-present activity stays visible.
+    """
+    if maximum <= 0 or value <= 0:
+        return ""
+    cells = round(width * min(value, maximum) / maximum)
+    return "█" * max(1, cells)
+
+
 def print_table(*args, **kwargs) -> None:
     """``print(format_table(...))`` with a leading blank line."""
     print()

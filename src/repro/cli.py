@@ -14,7 +14,10 @@ the spec-native commands expose the catalog directly:
 * ``dynamic`` — continuous-injection routing (T9-style);
 * ``list``    — show the catalog specs and every registered component;
 * ``spec``    — print (or write) a catalog spec as JSON;
-* ``run``     — run a spec from a JSON file, optionally result-cached.
+* ``run``     — run a spec from a JSON file, optionally result-cached,
+  with ``--trace``/``--telemetry`` observability;
+* ``report``  — render a run summary from a spec, cached result, result
+  file, or JSONL trace — without re-running anything.
 """
 
 from __future__ import annotations
@@ -378,8 +381,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         for seed in derive_sweep_seeds(args.seed, args.trials)
     ]
+    progress = None
+    if args.telemetry:
+
+        def progress(done, total, record):
+            print(
+                f"  trial {done}/{total}: T={record.result.makespan} "
+                f"({'ok' if record.result.all_delivered else 'incomplete'})",
+                file=sys.stderr,
+            )
+
     start = time.perf_counter()
-    records = run_spec_trials(specs, workers=args.workers)
+    records = run_spec_trials(
+        specs,
+        workers=args.workers,
+        telemetry=args.telemetry,
+        progress=progress,
+    )
     elapsed = time.perf_counter() - start
     delivered = sum(1 for r in records if r.result.all_delivered)
     audits_ok = all(r.audit is None or r.audit.ok for r in records)
@@ -405,6 +423,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"throughput: {len(records) / elapsed:.2f} trials/sec "
         f"({elapsed:.2f}s wall)"
     )
+    if args.telemetry:
+        from .telemetry import aggregate_counters
+
+        combined = aggregate_counters(
+            [r.result.telemetry for r in records]
+        )
+        if combined is not None:
+            print(
+                f"telemetry : {combined['events_total']} events over "
+                f"{combined['runs']} trials; deflections "
+                f"{combined['deflections']['safe']} safe / "
+                f"{combined['deflections']['unsafe']} unsafe; "
+                f"absorptions {combined['absorptions']}; "
+                f"max phases {combined['phases_seen']}"
+            )
     ok = delivered == len(records) and audits_ok
     return 0 if ok else 1
 
@@ -503,16 +536,47 @@ def cmd_spec(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     print(f"spec  : {spec.describe()}")
+    telemetry = args.telemetry or args.trace is not None
     if args.cache:
-        record = run_cached(spec, cache=args.cache_dir)
+        record = run_cached(
+            spec,
+            cache=args.cache_dir,
+            telemetry=telemetry,
+            trace_path=args.trace,
+        )
         if record.cached:
             print("cache : hit")
+            if args.trace is not None:
+                print(
+                    "trace : not written (cache hit; clear the record to "
+                    "re-run with tracing)"
+                )
     else:
-        record = run_trial(spec)
+        record = run_trial(spec, telemetry=telemetry, trace_path=args.trace)
     print(record.result.summary())
+    if args.trace is not None and not record.cached:
+        print(f"trace : wrote {args.trace}")
+    if telemetry and record.result.telemetry is not None:
+        counters = record.result.telemetry
+        print(
+            f"events: {counters['events_total']} "
+            f"(deflections {counters['deflections']['safe']} safe / "
+            f"{counters['deflections']['unsafe']} unsafe; "
+            f"view with: python -m repro report {args.spec}"
+            + (" --cache-dir ..." if args.cache_dir else "")
+            + ")"
+        )
     if record.audit is not None:
         print(f"audit: {record.audit.summary()}")
     return 0 if record.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry import render_report, resolve_source
+
+    source = resolve_source(args.target, cache_dir=args.cache_dir)
+    print(render_report(source))
+    return 0
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -595,6 +659,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--audit", action="store_true", help="audit invariants I_a..I_f"
     )
+    p_sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-trial counters (aggregated summary + per-trial "
+        "progress on stderr)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_exp = sub.add_parser(
@@ -640,7 +710,37 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
     )
+    p_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect event counters and stage timings for this run",
+    )
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream every engine event to a JSONL trace file "
+        "(.jsonl or .jsonl.gz; implies --telemetry)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a run summary from a spec / cache record / result "
+        "file / JSONL trace (no re-running)",
+    )
+    p_report.add_argument(
+        "target",
+        help="spec JSON, 16-hex spec hash, cached record, run-result JSON, "
+        "or a .jsonl/.jsonl.gz trace",
+    )
+    p_report.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory for spec/hash targets "
+        "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 

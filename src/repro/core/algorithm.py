@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..errors import ParameterError, SimulationError
 from ..rng import RngLike, make_rng
-from ..sim import DesiredMove, Engine, Router
+from ..sim import DesiredMove, Engine, EventKind, Router, TraceEvent
 from ..types import Direction, EdgeId, MoveKind, NodeId, PacketId
 from .frontier import assign_frontier_sets
 from .params import AlgorithmParams
@@ -122,11 +122,28 @@ class FrontierFrameRouter(Router):
 
     # ---------------------------------------------------------------- hooks
 
+    def _emit_state(self, t: int, pid: PacketId, transition: str) -> None:
+        """Emit one STATE event (caller has checked ``engine.tracing``)."""
+        engine = self.engine
+        engine.emit(
+            TraceEvent(
+                t,
+                EventKind.STATE,
+                packet=pid,
+                node=engine.packets[pid].node,
+                detail=transition,
+            )
+        )
+
     def pre_step(self, t: int) -> None:
         clock = self.clock
         if clock.is_phase_start(t):
             phase = clock.phase(t)
             self._current_phase = phase
+            if self.engine.tracing:
+                self.engine.emit(
+                    TraceEvent(t, EventKind.PHASE_START, detail=str(phase))
+                )
             for pid in self._eligible_by_phase.get(phase, ()):
                 self.engine.mark_eligible(pid)
         if clock.is_round_start(t) and self.collect_round_stats:
@@ -142,6 +159,14 @@ class FrontierFrameRouter(Router):
                     (clock.phase(t), clock.round(t), active, unsettled)
                 )
         if clock.is_round_start(t):
+            if self.engine.tracing:
+                self.engine.emit(
+                    TraceEvent(
+                        t,
+                        EventKind.ROUND_START,
+                        detail=f"{clock.phase(t)}:{clock.round(t)}",
+                    )
+                )
             # A packet that forward-arrived on the new round's target level
             # in the closing steps of the previous round is already standing
             # on its (new) target node; it "reaches" it trivially and enters
@@ -157,8 +182,11 @@ class FrontierFrameRouter(Router):
                     and net.level(packet.node)
                     == self.target_level(st.set_index, t)
                 ):
+                    old = st.state.name.lower()
                     st.enter_wait(packet.node, packet.last_edge)
                     self.counters.wait_entries += 1
+                    if self.engine.tracing:
+                        self._emit_state(t, pid, f"{old}->wait")
         # Excitation coins: every active normal packet, every step.
         q = self.params.q
         if q > 0.0:
@@ -168,6 +196,8 @@ class FrontierFrameRouter(Router):
                     if self._rng.random() < q:
                         states[pid].excite()
                         self.counters.excitations += 1
+                        if self.engine.tracing:
+                            self._emit_state(t, pid, "normal->excited")
 
     def post_step(self, t: int) -> None:
         clock = self.clock
@@ -175,14 +205,19 @@ class FrontierFrameRouter(Router):
         phase_end = clock.is_phase_end(t)
         if not (round_end or phase_end):
             return
+        tracing = self.engine.tracing
         for pid in self.engine.active_ids:
             st = self.states[pid]
             if st.state is PacketState.EXCITED:
                 st.calm()
                 self.counters.round_calms += 1
+                if tracing:
+                    self._emit_state(t, pid, "excited->normal")
             elif phase_end and st.state is PacketState.WAIT:
                 st.leave_wait(evicted=False)
                 self.counters.phase_releases += 1
+                if tracing:
+                    self._emit_state(t, pid, "wait->normal")
 
     # ---------------------------------------------------------------- policy
 
@@ -234,8 +269,11 @@ class FrontierFrameRouter(Router):
         # target level means standing on its target node.
         level = self.engine.net.level(packet.node)
         if level == self.target_level(st.set_index, t):
+            old = st.state.name.lower()
             st.enter_wait(packet.node, edge)
             self.counters.wait_entries += 1
+            if self.engine.tracing:
+                self._emit_state(t, packet_id, f"{old}->wait")
 
     def on_deflected(
         self, packet_id: PacketId, t: int, edge: EdgeId, safe: bool
@@ -244,8 +282,12 @@ class FrontierFrameRouter(Router):
         if st.state is PacketState.WAIT:
             st.leave_wait(evicted=True)
             self.counters.wait_evictions += 1
+            if self.engine.tracing:
+                self._emit_state(t, packet_id, "wait->normal")
         elif st.state is PacketState.EXCITED:
             st.calm()
+            if self.engine.tracing:
+                self._emit_state(t, packet_id, "excited->normal")
 
     # --------------------------------------------------------- fast-forward
 

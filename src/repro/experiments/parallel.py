@@ -51,26 +51,47 @@ def default_chunksize(num_items: int, workers: int) -> int:
     return max(1, math.ceil(num_items / (workers * 4)))
 
 
+#: Per-item progress callback: ``progress(done, total, item_result)``.
+ProgressFn = Callable[[int, int, object], None]
+
+
 def parallel_map(
     fn: Callable[[T], U],
     items: Sequence[T],
     workers: int = 1,
     chunksize: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[U]:
     """Order-preserving map over a process pool (serial when ``workers<=1``).
 
     ``fn`` and every item must be picklable when ``workers > 1``.
+    ``progress`` fires in the parent process after each item's result is
+    available, in item order (``pool.map`` streams results back in order,
+    so progress over a parallel run advances as chunks complete).
     """
     workers = resolve_workers(workers)
     items = list(items)
-    if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+    total = len(items)
+    if workers <= 1 or total <= 1:
+        out: List[U] = []
+        for item in items:
+            value = fn(item)
+            out.append(value)
+            if progress is not None:
+                progress(len(out), total, value)
+        return out
     from concurrent.futures import ProcessPoolExecutor
 
     if chunksize is None:
-        chunksize = default_chunksize(len(items), workers)
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+        chunksize = default_chunksize(total, workers)
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        if progress is None:
+            return list(pool.map(fn, items, chunksize=chunksize))
+        out = []
+        for value in pool.map(fn, items, chunksize=chunksize):
+            out.append(value)
+            progress(len(out), total, value)
+        return out
 
 
 # ------------------------------------------------------------ trial workers
@@ -109,6 +130,17 @@ def _spec_cached_task(cache_root, spec):
     from ..scenarios import run_cached
 
     return run_cached(spec, cache_root)
+
+
+def _spec_telemetry_task(cache_root, spec):
+    # Telemetry sessions are process-local, so each pool worker opens its
+    # own around its trial; counters are deterministic, hence identical to
+    # a serial run's (pinned by tests/test_telemetry.py).
+    from ..scenarios import run_cached, run_trial
+
+    if cache_root is not None:
+        return run_cached(spec, cache_root, telemetry=True)
+    return run_trial(spec, telemetry=True)
 
 
 # ---------------------------------------------------------------- sweep API
@@ -172,6 +204,8 @@ def run_spec_trials(
     workers: int = 1,
     chunksize: Optional[int] = None,
     cache=None,
+    telemetry: bool = False,
+    progress: Optional[ProgressFn] = None,
 ):
     """Dispatch a list of :class:`~repro.scenarios.RunSpec` (serial/parallel).
 
@@ -181,14 +215,35 @@ def run_spec_trials(
     order, and — because a spec's outcome is a pure function of its content
     — serial and parallel runs are byte-identical.  Specs are plain data,
     so they pickle across the pool by construction.
+
+    ``telemetry=True`` runs every trial under its own telemetry session
+    (one per worker process): each record comes back with
+    ``result.telemetry`` counters and pipeline ``timings`` attached, ready
+    for :func:`repro.telemetry.aggregate_counters`.  ``progress`` is the
+    per-trial callback of :func:`parallel_map`.
     """
+    root = None
     if cache is not None:
         import pathlib
 
-        root = getattr(cache, "root", cache)
-        task = functools.partial(_spec_cached_task, pathlib.Path(root))
-        return parallel_map(task, specs, workers=workers, chunksize=chunksize)
-    return parallel_map(_spec_trial_task, specs, workers=workers, chunksize=chunksize)
+        root = pathlib.Path(getattr(cache, "root", cache))
+    if telemetry:
+        task = functools.partial(_spec_telemetry_task, root)
+        return parallel_map(
+            task, specs, workers=workers, chunksize=chunksize, progress=progress
+        )
+    if root is not None:
+        task = functools.partial(_spec_cached_task, root)
+        return parallel_map(
+            task, specs, workers=workers, chunksize=chunksize, progress=progress
+        )
+    return parallel_map(
+        _spec_trial_task,
+        specs,
+        workers=workers,
+        chunksize=chunksize,
+        progress=progress,
+    )
 
 
 def run_specs(

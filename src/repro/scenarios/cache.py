@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from ..io import result_from_dict, result_to_dict
 from ..sim import RunResult
@@ -46,9 +46,14 @@ class ResultCache:
         """The file that would hold this spec's cached result."""
         return self.root / f"{spec.content_hash()}.json"
 
-    def load(self, spec: RunSpec) -> Optional[RunResult]:
-        """The cached result for ``spec``, or None on miss/corruption."""
-        path = self.path_for(spec)
+    def load_payload(self, content_hash: str) -> Optional[dict]:
+        """The raw record payload for a content hash, or None.
+
+        No spec validation is possible from a bare hash; callers that hold
+        the spec should use :meth:`load` / :meth:`load_record` instead.
+        ``repro report`` uses this to render from a hash alone.
+        """
+        path = self.root / f"{content_hash}.json"
         if not path.exists():
             return None
         try:
@@ -57,6 +62,12 @@ class ResultCache:
             return None
         if payload.get("kind") != "scenario_result":
             return None
+        return payload
+
+    def _validated_payload(self, spec: RunSpec) -> Optional[dict]:
+        payload = self.load_payload(spec.content_hash())
+        if payload is None:
+            return None
         expected = spec.to_dict()
         expected.pop("name")
         stored = dict(payload.get("spec", {}))
@@ -64,12 +75,42 @@ class ResultCache:
         if stored != expected:
             # Hash collision or stale/edited record: treat as a miss.
             return None
+        return payload
+
+    def load(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None on miss/corruption."""
+        payload = self._validated_payload(spec)
+        if payload is None:
+            return None
         try:
             return result_from_dict(payload["result"])
         except Exception:
             return None
 
-    def store(self, spec: RunSpec, result: RunResult) -> pathlib.Path:
+    def load_record(
+        self, spec: RunSpec
+    ) -> Optional[Tuple[RunResult, Optional[dict]]]:
+        """Cached ``(result, timings)`` for ``spec``, or None on miss.
+
+        ``timings`` is the wall-clock sidecar recorded when the result was
+        produced under telemetry (None otherwise) — advisory data, kept out
+        of the result itself.
+        """
+        payload = self._validated_payload(spec)
+        if payload is None:
+            return None
+        try:
+            result = result_from_dict(payload["result"])
+        except Exception:
+            return None
+        return result, payload.get("timings")
+
+    def store(
+        self,
+        spec: RunSpec,
+        result: RunResult,
+        timings: Optional[dict] = None,
+    ) -> pathlib.Path:
         """Persist one result; returns the record path."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
@@ -80,6 +121,8 @@ class ResultCache:
             "spec": spec.to_dict(),
             "result": result_to_dict(result),
         }
+        if timings is not None:
+            payload["timings"] = timings
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(
             json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"

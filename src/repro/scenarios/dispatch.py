@@ -19,6 +19,8 @@ from ..errors import ReproError
 from ..net import LeveledNetwork
 from ..paths import RoutingProblem
 from ..sim import RunResult
+from ..telemetry.context import current_session
+from ..telemetry.timing import span
 from ..workloads import Workload
 from .registry import BACKENDS, PATH_SELECTORS, TOPOLOGIES, WORKLOADS
 from .spec import RunSpec
@@ -36,6 +38,9 @@ class ScenarioRun:
     problem: Optional[RoutingProblem] = None
     #: whether the result came from the on-disk cache
     cached: bool = False
+    #: wall-clock pipeline spans (repro.telemetry.TimingSpans.to_dict());
+    #: machine-dependent, so they live here — never on the RunResult
+    timings: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -49,7 +54,8 @@ def build_network(spec: RunSpec) -> LeveledNetwork:
     builder = TOPOLOGIES.get(spec.topology)
     params = dict(spec.topology_params)
     params["seed"] = spec.topology_seed()
-    return builder(**params)
+    with span("build_network"):
+        return builder(**params)
 
 
 def build_problem(
@@ -67,7 +73,8 @@ def build_problem(
     workload_fn = WORKLOADS.get(spec.workload)
     wparams = dict(spec.workload_params)
     wparams["seed"] = spec.workload_seed()
-    built = workload_fn(net, **wparams)
+    with span("build_workload"):
+        built = workload_fn(net, **wparams)
     if isinstance(built, RoutingProblem):
         # Adversarial workloads carry their paths; a non-trivial selector
         # would silently be ignored, so reject the combination.
@@ -85,7 +92,8 @@ def build_problem(
     selector = PATH_SELECTORS.get(spec.selector)
     sparams = dict(spec.selector_params)
     sparams["seed"] = spec.selector_seed()
-    return selector(net, built.endpoints, **sparams)
+    with span("path_selection"):
+        return selector(net, built.endpoints, **sparams)
 
 
 def _network_backend_names() -> str:
@@ -97,26 +105,59 @@ def _network_backend_names() -> str:
     return ", ".join(names)
 
 
+def _dispatch(spec: RunSpec, problem: Optional[RoutingProblem]) -> ScenarioRun:
+    backend = BACKENDS.get(spec.backend)
+    needs = getattr(backend, "needs", "problem")
+    params = dict(spec.backend_params)
+    if needs == "network":
+        net = build_network(spec)
+        with span("backend"):
+            result, audit = backend(net, spec.seed, params)
+        return ScenarioRun(spec=spec, result=result, audit=audit)
+    if problem is None:
+        problem = build_problem(spec)
+    with span("backend"):
+        result, audit = backend(problem, spec.seed, params)
+    return ScenarioRun(spec=spec, result=result, audit=audit, problem=problem)
+
+
+def _finalize(record: ScenarioRun, session) -> ScenarioRun:
+    session.finalize_result(record.result)
+    record.timings = session.timings_dict()
+    return record
+
+
 def run_trial(
-    spec: RunSpec, problem: Optional[RoutingProblem] = None
+    spec: RunSpec,
+    problem: Optional[RoutingProblem] = None,
+    telemetry: bool = False,
+    trace_path=None,
 ) -> ScenarioRun:
     """Dispatch one spec and return the full record (result + audit).
 
     ``problem`` may pass a pre-materialized :func:`build_problem` output to
     avoid rebuilding (the CLI prints the instance before running it);
     callers are responsible for it matching the spec.
+
+    ``telemetry=True`` (or a ``trace_path``) runs the trial under a
+    :class:`~repro.telemetry.TelemetrySession`: counters land on
+    ``result.telemetry``, wall-clock spans on the record's ``timings``, and
+    the event stream goes to ``trace_path`` when given.  A session already
+    active in this process is reused instead (its counters span every trial
+    it covers).
     """
-    backend = BACKENDS.get(spec.backend)
-    needs = getattr(backend, "needs", "problem")
-    params = dict(spec.backend_params)
-    if needs == "network":
-        net = build_network(spec)
-        result, audit = backend(net, spec.seed, params)
-        return ScenarioRun(spec=spec, result=result, audit=audit)
-    if problem is None:
-        problem = build_problem(spec)
-    result, audit = backend(problem, spec.seed, params)
-    return ScenarioRun(spec=spec, result=result, audit=audit, problem=problem)
+    ambient = current_session()
+    if ambient is None and (telemetry or trace_path is not None):
+        from ..telemetry.session import TelemetrySession
+
+        with TelemetrySession(
+            trace_path=trace_path, spec_hash=spec.content_hash()
+        ) as session:
+            return _finalize(_dispatch(spec, problem), session)
+    record = _dispatch(spec, problem)
+    if ambient is not None:
+        _finalize(record, ambient)
+    return record
 
 
 def run(spec: RunSpec) -> RunResult:
@@ -124,12 +165,20 @@ def run(spec: RunSpec) -> RunResult:
     return run_trial(spec).result
 
 
-def run_cached(spec: RunSpec, cache=None) -> ScenarioRun:
+def run_cached(
+    spec: RunSpec,
+    cache=None,
+    telemetry: bool = False,
+    trace_path=None,
+) -> ScenarioRun:
     """Like :func:`run_trial`, backed by an on-disk result cache.
 
     ``cache`` is a :class:`~repro.scenarios.cache.ResultCache`, a directory
     path, or None (the default cache location).  Audit reports and
-    materialized problems are not cached; a hit returns the result only.
+    materialized problems are not cached; a hit returns the cached result —
+    including any telemetry counters stored with it — plus the recorded
+    pipeline timings, without re-running anything (``repro report`` relies
+    on this).
     """
     from .cache import ResultCache
 
@@ -137,9 +186,10 @@ def run_cached(spec: RunSpec, cache=None) -> ScenarioRun:
         cache = ResultCache.default()
     elif not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
-    hit = cache.load(spec)
+    hit = cache.load_record(spec)
     if hit is not None:
-        return ScenarioRun(spec=spec, result=hit, cached=True)
-    record = run_trial(spec)
-    cache.store(spec, record.result)
+        result, timings = hit
+        return ScenarioRun(spec=spec, result=result, cached=True, timings=timings)
+    record = run_trial(spec, telemetry=telemetry, trace_path=trace_path)
+    cache.store(spec, record.result, timings=record.timings)
     return record

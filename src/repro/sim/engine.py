@@ -47,6 +47,7 @@ from ..errors import CapacityError, SimulationError
 from ..net import LeveledNetwork
 from ..paths import RoutingProblem
 from ..rng import RngLike, make_rng
+from ..telemetry.context import current_session
 from ..types import Direction, EdgeId, MoveKind, NodeId, PacketId
 from .events import EventKind, TraceEvent
 from .metrics import RunResult
@@ -100,6 +101,8 @@ class Engine:
         self.unsafe_deflections = 0
         #: called as ``hook(engine, t)`` after each executed step (auditors)
         self.post_step_hooks: List[Callable[["Engine", int], None]] = []
+        #: TimingSpans fed by run() when a telemetry session is active
+        self._step_timer = None
 
         # Dense geometry tables (built once per network, shared by engines).
         geo = self.net.geometry()
@@ -126,6 +129,12 @@ class Engine:
         self._deflected: List[Tuple[PacketId, EdgeId, bool]] = []
 
         router.attach(self)
+
+        # Scoped observability: engines built under an active telemetry
+        # session get its observers/timers; one None check otherwise.
+        session = current_session()
+        if session is not None:
+            session.attach(self)
 
     # ---------------------------------------------------------------- events
 
@@ -561,10 +570,22 @@ class Engine:
 
     def run(self, max_steps: int) -> RunResult:
         """Run until delivery or the step budget; return metrics."""
-        while not self.done and self.t < max_steps:
-            if self._enable_fast_forward:
-                self._try_fast_forward()
-            self.step()
+        timer = self._step_timer
+        if timer is None:
+            while not self.done and self.t < max_steps:
+                if self._enable_fast_forward:
+                    self._try_fast_forward()
+                self.step()
+        else:
+            from time import perf_counter
+
+            add_step = timer.add_step
+            while not self.done and self.t < max_steps:
+                if self._enable_fast_forward:
+                    self._try_fast_forward()
+                start = perf_counter()
+                self.step()
+                add_step(perf_counter() - start)
         return self.result()
 
     def result(self) -> RunResult:

@@ -36,6 +36,9 @@ class RunResult:
     total_backward_moves: int
     #: router-specific extras (phase counts, state statistics, ...)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: deterministic telemetry counters snapshot (see repro.telemetry), or
+    #: None when the run executed without an active telemetry session
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def all_delivered(self) -> bool:

@@ -1,0 +1,310 @@
+"""The ``Counters`` observer: structured statistics from engine events.
+
+Counters subscribe to the engine's event stream (the same zero-cost hook
+used by tracers and the invariant auditor) and accumulate exactly the
+quantities the paper's analysis talks about:
+
+* deflections split by kind — safe backward (``DEFLECT``, Lemma 2.1's
+  edge set ``E'``) vs unsafe (``UNSAFE_DEFLECT``, which invariant ``I_b``
+  says the paper's algorithm never needs);
+* absorptions and injections (isolated vs crowded — invariant ``I_a``);
+* state transitions of the ``normal / excited / wait`` machine
+  (Section 3), keyed ``"old->new"``;
+* per-phase/per-round activity for the frontier-frame schedule
+  (Section 2.1), bucketed by the ``PHASE_START`` / ``ROUND_START`` events
+  the :class:`~repro.core.FrontierFrameRouter` emits while traced;
+* fast-forwarded vs executed steps (DESIGN.md Section 4.7);
+* per-level peak occupancy — how many packets simultaneously sat on each
+  network level, the empirical face of congestion.
+
+Everything counted is a pure function of the event stream, which is itself
+a pure function of the run's seeds — so counters are **deterministic
+across worker counts and machines**, unlike wall-clock timings, and may be
+attached to :class:`~repro.sim.RunResult` without breaking the
+serial-vs-parallel byte-identity invariant (pinned by
+``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.events import EventKind, TraceEvent
+
+COUNTERS_SCHEMA = 1
+
+#: Fields of one per-phase bucket, in stable render order.
+PHASE_FIELDS = (
+    "rounds",
+    "injections",
+    "moves",
+    "deflections",
+    "unsafe_deflections",
+    "absorptions",
+    "wait_entries",
+    "excitations",
+)
+
+
+def _new_phase_bucket() -> Dict[str, int]:
+    return {field: 0 for field in PHASE_FIELDS}
+
+
+class Counters:
+    """Event observer accumulating run statistics (see module docstring).
+
+    ``node_levels`` (node id -> level) enables per-level occupancy
+    tracking; it is bound automatically from the engine's geometry when a
+    telemetry session attaches the counters, and may be omitted when
+    replaying a trace offline (occupancy is then skipped).
+    """
+
+    def __init__(self, node_levels: Optional[Sequence[int]] = None) -> None:
+        self.node_levels = node_levels
+        self.events_total = 0
+        self.by_kind: Dict[str, int] = {}
+        self.injections = {"isolated": 0, "crowded": 0}
+        self.moves = {"forward": 0, "backward": 0}
+        self.deflections = {"safe": 0, "unsafe": 0}
+        self.absorptions = 0
+        self.state_transitions: Dict[str, int] = {}
+        self.fast_forwards = 0
+        self.steps_fast_forwarded = 0
+        self.phases_seen = 0
+        self.rounds_seen = 0
+        self.first_event_time: Optional[int] = None
+        self.last_event_time: Optional[int] = None
+        #: per-phase activity buckets, keyed by phase index
+        self.per_phase: Dict[int, Dict[str, int]] = {}
+        self._phase: Optional[int] = None
+        #: live per-packet level and per-level occupancy (needs node_levels)
+        self._packet_level: Dict[int, int] = {}
+        self._occupancy: Dict[int, int] = {}
+        self.level_peaks: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- binding
+
+    def bind(self, engine) -> None:
+        """Adopt an engine's node->level table (first engine wins)."""
+        if self.node_levels is None:
+            self.node_levels = engine.net.geometry().node_levels
+
+    # ------------------------------------------------------------ observer
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Observer hook: fold one event into the counters."""
+        self.events_total += 1
+        kind = event.kind
+        key = kind.value
+        self.by_kind[key] = self.by_kind.get(key, 0) + 1
+        if self.first_event_time is None:
+            self.first_event_time = event.time
+        self.last_event_time = event.time
+        bucket = (
+            self.per_phase.get(self._phase) if self._phase is not None else None
+        )
+
+        if kind is EventKind.MOVE:
+            direction = "backward" if event.direction else "forward"
+            self.moves[direction] += 1
+            if bucket is not None:
+                bucket["moves"] += 1
+            self._occupy(event.packet, event.node)
+        elif kind is EventKind.DEFLECT or kind is EventKind.UNSAFE_DEFLECT:
+            safe = kind is EventKind.DEFLECT
+            self.deflections["safe" if safe else "unsafe"] += 1
+            if bucket is not None:
+                bucket["deflections"] += 1
+                if not safe:
+                    bucket["unsafe_deflections"] += 1
+            self._occupy(event.packet, event.node)
+        elif kind is EventKind.ABSORB:
+            self.absorptions += 1
+            if bucket is not None:
+                bucket["absorptions"] += 1
+            self._vacate(event.packet)
+        elif kind is EventKind.INJECT:
+            label = "isolated" if event.detail == "isolated" else "crowded"
+            self.injections[label] += 1
+            if bucket is not None:
+                bucket["injections"] += 1
+            self._occupy(event.packet, event.node)
+        elif kind is EventKind.STATE:
+            transition = event.detail or "?"
+            self.state_transitions[transition] = (
+                self.state_transitions.get(transition, 0) + 1
+            )
+            if bucket is not None:
+                if transition.endswith("->wait"):
+                    bucket["wait_entries"] += 1
+                elif transition == "normal->excited":
+                    bucket["excitations"] += 1
+        elif kind is EventKind.PHASE_START:
+            phase = int(event.detail) if event.detail else 0
+            self._phase = phase
+            self.phases_seen += 1
+            self.per_phase.setdefault(phase, _new_phase_bucket())
+        elif kind is EventKind.ROUND_START:
+            self.rounds_seen += 1
+            if bucket is not None:
+                bucket["rounds"] += 1
+        elif kind is EventKind.FAST_FORWARD:
+            self.fast_forwards += 1
+            # detail schema: "skipped {k} steps to {target}" (engine-owned).
+            if event.detail:
+                try:
+                    self.steps_fast_forwarded += int(event.detail.split()[1])
+                except (IndexError, ValueError):
+                    pass
+
+    # ----------------------------------------------------------- occupancy
+
+    def _occupy(self, packet: Optional[int], node: Optional[int]) -> None:
+        levels = self.node_levels
+        if levels is None or packet is None or node is None:
+            return
+        level = levels[node]
+        previous = self._packet_level.get(packet)
+        if previous == level:
+            return
+        if previous is not None:
+            self._occupancy[previous] -= 1
+        self._packet_level[packet] = level
+        now = self._occupancy.get(level, 0) + 1
+        self._occupancy[level] = now
+        if now > self.level_peaks.get(level, 0):
+            self.level_peaks[level] = now
+
+    def _vacate(self, packet: Optional[int]) -> None:
+        level = self._packet_level.pop(packet, None)
+        if level is not None:
+            self._occupancy[level] -= 1
+
+    # --------------------------------------------------------------- views
+
+    @property
+    def total_deflections(self) -> int:
+        """Safe plus unsafe deflection events."""
+        return self.deflections["safe"] + self.deflections["unsafe"]
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (the form attached to ``RunResult.telemetry``).
+
+        Nested keys are strings (JSON object keys), values plain ints; two
+        runs of the same spec produce equal dicts at any worker count.
+        """
+        return {
+            "schema": COUNTERS_SCHEMA,
+            "runs": 1,
+            "events_total": self.events_total,
+            "by_kind": {k: self.by_kind[k] for k in sorted(self.by_kind)},
+            "injections": dict(self.injections),
+            "moves": dict(self.moves),
+            "deflections": dict(self.deflections),
+            "absorptions": self.absorptions,
+            "state_transitions": {
+                k: self.state_transitions[k]
+                for k in sorted(self.state_transitions)
+            },
+            "fast_forwards": self.fast_forwards,
+            "steps_fast_forwarded": self.steps_fast_forwarded,
+            "phases_seen": self.phases_seen,
+            "rounds_seen": self.rounds_seen,
+            "first_event_time": self.first_event_time,
+            "last_event_time": self.last_event_time,
+            "level_peaks": {
+                str(level): self.level_peaks[level]
+                for level in sorted(self.level_peaks)
+            },
+            "per_phase": {
+                str(phase): dict(self.per_phase[phase])
+                for phase in sorted(self.per_phase)
+            },
+        }
+
+    @classmethod
+    def replay(
+        cls,
+        events: Iterable[TraceEvent],
+        node_levels: Optional[Sequence[int]] = None,
+    ) -> "Counters":
+        """Rebuild counters offline from a (loaded) event stream."""
+        counters = cls(node_levels=node_levels)
+        for event in events:
+            counters.on_event(event)
+        return counters
+
+
+def aggregate_counters(snapshots: Sequence[Optional[dict]]) -> Optional[dict]:
+    """Merge per-trial counter snapshots (sweep aggregation).
+
+    Additive fields sum across trials; ``level_peaks`` and
+    ``phases_seen``/``rounds_seen`` take the per-trial maximum (a peak over
+    independent runs, not a sum); ``per_phase`` buckets sum phase-wise.
+    ``None`` entries (trials without telemetry) are skipped; returns None
+    when nothing remains.
+    """
+    snaps: List[dict] = [s for s in snapshots if s]
+    if not snaps:
+        return None
+    out = {
+        "schema": COUNTERS_SCHEMA,
+        "runs": 0,
+        "events_total": 0,
+        "by_kind": {},
+        "injections": {"isolated": 0, "crowded": 0},
+        "moves": {"forward": 0, "backward": 0},
+        "deflections": {"safe": 0, "unsafe": 0},
+        "absorptions": 0,
+        "state_transitions": {},
+        "fast_forwards": 0,
+        "steps_fast_forwarded": 0,
+        "phases_seen": 0,
+        "rounds_seen": 0,
+        "first_event_time": None,
+        "last_event_time": None,
+        "level_peaks": {},
+        "per_phase": {},
+    }
+    for snap in snaps:
+        out["runs"] += snap.get("runs", 1)
+        for field in (
+            "events_total",
+            "absorptions",
+            "fast_forwards",
+            "steps_fast_forwarded",
+        ):
+            out[field] += snap.get(field, 0)
+        for field in ("phases_seen", "rounds_seen"):
+            out[field] = max(out[field], snap.get(field, 0))
+        for field in ("injections", "moves", "deflections"):
+            for key, value in snap.get(field, {}).items():
+                out[field][key] = out[field].get(key, 0) + value
+        for field in ("by_kind", "state_transitions"):
+            for key, value in snap.get(field, {}).items():
+                out[field][key] = out[field].get(key, 0) + value
+        for level, peak in snap.get("level_peaks", {}).items():
+            out["level_peaks"][level] = max(
+                out["level_peaks"].get(level, 0), peak
+            )
+        for phase, bucket in snap.get("per_phase", {}).items():
+            merged = out["per_phase"].setdefault(phase, _new_phase_bucket())
+            for key, value in bucket.items():
+                merged[key] = merged.get(key, 0) + value
+        for field, pick in (("first_event_time", min), ("last_event_time", max)):
+            value = snap.get(field)
+            if value is not None:
+                current = out[field]
+                out[field] = value if current is None else pick(current, value)
+    out["by_kind"] = {k: out["by_kind"][k] for k in sorted(out["by_kind"])}
+    out["state_transitions"] = {
+        k: out["state_transitions"][k] for k in sorted(out["state_transitions"])
+    }
+    out["level_peaks"] = {
+        k: out["level_peaks"][k]
+        for k in sorted(out["level_peaks"], key=int)
+    }
+    out["per_phase"] = {
+        k: out["per_phase"][k] for k in sorted(out["per_phase"], key=int)
+    }
+    return out

@@ -1,0 +1,202 @@
+"""JSONL trace export: stream engine events to a (compressed) file.
+
+One JSON object per line, in three flavors distinguished by shape:
+
+* **header** (first line, optional) —
+  ``{"kind": "trace_header", "format": 1, ...run metadata...}``;
+* **event** (the stream) — compact keys, ``None`` fields omitted::
+
+      {"t": 3, "k": "deflect", "p": 5, "n": 12, "e": 31, "d": 1}
+
+  ``t`` time, ``k`` :class:`~repro.sim.EventKind` value, ``p`` packet id,
+  ``n`` node id, ``e`` edge id, ``d`` direction (0 forward / 1 backward),
+  ``x`` detail string;
+* **footer** (last line, optional) —
+  ``{"kind": "trace_footer", "events": ..., ...outcome...}``.
+
+Paths ending in ``.gz`` are gzip-compressed transparently (the recommended
+form — event streams compress ~10x).  :func:`load_trace` round-trips the
+stream event-for-event back into :class:`~repro.sim.TraceEvent` objects
+(pinned by ``tests/test_telemetry.py``), so traces are a stable offline
+interchange format: export once, analyze anywhere — including
+``python -m repro report trace.jsonl.gz`` which replays a trace through
+:class:`~repro.telemetry.Counters` without touching the simulator.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import IO, List, Optional, Union
+
+from ..errors import ReproError
+from ..sim.events import EventKind, TraceEvent
+from ..types import Direction
+
+PathLike = Union[str, pathlib.Path]
+
+TRACE_FORMAT = 1
+
+#: File suffixes recognized as traces by ``repro report``.
+TRACE_SUFFIXES = (".jsonl", ".jsonl.gz", ".ndjson", ".ndjson.gz")
+
+
+def _open_text(path: pathlib.Path, mode: str) -> IO[str]:
+    if path.name.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def event_to_obj(event: TraceEvent) -> dict:
+    """Compact JSON-object form of one event (``None`` fields omitted)."""
+    obj: dict = {"t": event.time, "k": event.kind.value}
+    if event.packet is not None:
+        obj["p"] = event.packet
+    if event.node is not None:
+        obj["n"] = event.node
+    if event.edge is not None:
+        obj["e"] = event.edge
+    if event.direction is not None:
+        obj["d"] = int(event.direction)
+    if event.detail is not None:
+        obj["x"] = event.detail
+    return obj
+
+
+def event_from_obj(obj: dict) -> TraceEvent:
+    """Inverse of :func:`event_to_obj`."""
+    direction = obj.get("d")
+    return TraceEvent(
+        time=obj["t"],
+        kind=EventKind(obj["k"]),
+        packet=obj.get("p"),
+        node=obj.get("n"),
+        edge=obj.get("e"),
+        direction=None if direction is None else Direction(direction),
+        detail=obj.get("x"),
+    )
+
+
+class JsonlTraceSink:
+    """Event observer streaming every event to a JSONL file.
+
+    The sink writes incrementally (no in-memory event list), so it scales
+    to arbitrarily long runs; call :meth:`close` (or use the telemetry
+    session, which closes it) to flush.  ``header`` metadata, if provided
+    before the first event via :meth:`write_header`, becomes the file's
+    first line.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[str]] = _open_text(self.path, "w")
+        self.events_written = 0
+        self._header_written = False
+        self._footer_written = False
+
+    def write_header(self, info: dict) -> None:
+        """Write the metadata header line (once, before any event)."""
+        if self._header_written or self.events_written:
+            return
+        record = {"kind": "trace_header", "format": TRACE_FORMAT, **info}
+        self._write(record)
+        self._header_written = True
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Observer hook: append one event line."""
+        self._write(event_to_obj(event))
+        self.events_written += 1
+
+    def write_footer(self, info: Optional[dict] = None) -> None:
+        """Write the closing summary line (once)."""
+        if self._footer_written or self._fh is None:
+            return
+        record = {"kind": "trace_footer", "events": self.events_written}
+        if info:
+            record.update(info)
+        self._write(record)
+        self._footer_written = True
+
+    def close(self) -> None:
+        """Flush and close the file (footer included if not yet written)."""
+        if self._fh is None:
+            return
+        self.write_footer()
+        self._fh.close()
+        self._fh = None
+
+    def _write(self, obj: dict) -> None:
+        if self._fh is None:
+            raise ReproError(f"trace sink {self.path} is closed")
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class TraceFile:
+    """A loaded trace: metadata header, event stream, outcome footer."""
+
+    path: str
+    header: Optional[dict] = None
+    footer: Optional[dict] = None
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the footer is present and agrees with the event count."""
+        return (
+            self.footer is not None
+            and self.footer.get("events") == len(self.events)
+        )
+
+
+def load_trace(path: PathLike) -> TraceFile:
+    """Load a JSONL trace written by :class:`JsonlTraceSink`.
+
+    Round-trips event-for-event: ``load_trace(p).events`` equals the
+    sequence the sink observed.  Raises :class:`~repro.errors.ReproError`
+    on malformed lines (truncated tails from crashed runs included).
+    """
+    target = pathlib.Path(path)
+    if not target.exists():
+        raise ReproError(f"trace file not found: {target}")
+    trace = TraceFile(path=str(target))
+    with _open_text(target, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{target}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            kind = obj.get("kind")
+            if kind == "trace_header":
+                trace.header = obj
+            elif kind == "trace_footer":
+                trace.footer = obj
+            else:
+                try:
+                    trace.events.append(event_from_obj(obj))
+                except (KeyError, ValueError) as exc:
+                    raise ReproError(
+                        f"{target}:{lineno}: malformed event line ({exc})"
+                    ) from exc
+    return trace
+
+
+def is_trace_path(path: PathLike) -> bool:
+    """Whether a path looks like a JSONL trace file (by suffix)."""
+    name = pathlib.Path(path).name
+    return any(name.endswith(suffix) for suffix in TRACE_SUFFIXES)

@@ -76,19 +76,63 @@ class TestReadme:
 
 
 class TestApiIndex:
-    def test_api_doc_is_fresh(self, tmp_path):
-        """docs/api.md must match what the generator produces now."""
+    def test_api_doc_is_fresh(self):
+        """docs/api.md must match what the generator would write now.
+
+        Uses the generator's own ``--check`` mode (also run in CI), which
+        compares without touching the committed file.
+        """
         import subprocess
         import sys
 
-        current = read("docs/api.md")
-        subprocess.check_call(
-            [sys.executable, str(ROOT / "tools" / "gen_api_doc.py")]
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_doc.py"), "--check"],
+            capture_output=True,
+            text=True,
         )
-        regenerated = read("docs/api.md")
-        assert current == regenerated, (
-            "docs/api.md is stale; run python tools/gen_api_doc.py"
+        assert proc.returncode == 0, (
+            f"docs/api.md is stale; run python tools/gen_api_doc.py\n"
+            f"{proc.stderr}"
         )
+
+
+class TestObservabilityDoc:
+    def test_every_event_kind_documented(self):
+        """docs/observability.md's schema table must name every EventKind."""
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        try:
+            from repro.sim import EventKind
+        finally:
+            sys.path.pop(0)
+        doc = read("docs/observability.md")
+        for kind in EventKind:
+            assert f"`{kind.value}`" in doc, (
+                f"docs/observability.md does not document event kind "
+                f"{kind.value!r}"
+            )
+
+    def test_every_counter_key_documented(self):
+        """Top-level RunResult.telemetry keys must appear in the doc."""
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        try:
+            from repro.telemetry import Counters
+        finally:
+            sys.path.pop(0)
+        doc = read("docs/observability.md")
+        for key in Counters().to_dict():
+            if key in ("schema", "runs"):
+                continue
+            assert f"`{key}`" in doc, (
+                f"docs/observability.md does not document counter key {key!r}"
+            )
+
+    def test_performance_doc_links_overhead_section(self):
+        assert "## Telemetry overhead" in read("docs/performance.md")
+        assert "#telemetry-overhead" in read("docs/observability.md")
 
 
 class TestExamplesCovered:

@@ -14,6 +14,7 @@ from repro.experiments import (
     butterfly_random_spec,
     deep_random_spec,
     run_spec_trials,
+    sweep_specs,
 )
 from repro.net import butterfly
 from repro.scenarios import build_problem
@@ -83,16 +84,18 @@ def test_throughput_topology_construction(benchmark):
 
 
 def test_throughput_trial_sweep(benchmark):
-    """End-to-end spec throughput via the scenario dispatcher.
+    """End-to-end sweep throughput via the batched scenario dispatcher.
 
-    Honors ``$REPRO_BENCH_WORKERS`` (see ``repro experiment --workers``);
-    the records are identical at any worker count, so this tracks sweep
+    A fixed-problem Monte Carlo sweep (``sweep_specs``): all trials share
+    one scenario hash, so the warm cache builds the problem once and the
+    bench tracks the amortized per-trial cost.  Honors
+    ``$REPRO_BENCH_WORKERS`` (see ``repro experiment --workers``); the
+    records are identical at any worker count, so this tracks sweep
     wall-clock only.
     """
-    specs = [
-        butterfly_random_spec(4, seed=seed, m=8, w_factor=8.0)
-        for seed in range(8)
-    ]
+    specs = sweep_specs(
+        butterfly_random_spec(4, seed=0, m=8, w_factor=8.0), 8
+    )
 
     def run():
         return run_spec_trials(specs, workers=bench_workers())

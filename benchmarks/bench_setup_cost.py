@@ -1,0 +1,95 @@
+"""Trial setup-cost microbenchmarks: where the non-engine time goes.
+
+Not a paper experiment — these separate the fixed per-trial construction
+costs that the warm scenario cache amortizes (network build, geometry
+precompute, path selection) from the cost that every trial must pay
+regardless (engine init), so the batching layer's savings stay explainable.
+The final case times a warm :class:`~repro.scenarios.ScenarioCache` hit —
+the per-trial setup cost under batched execution.
+"""
+
+import pytest
+
+from repro.core import AlgorithmParams, FrontierFrameRouter
+from repro.experiments import deep_random_spec
+from repro.scenarios import ScenarioCache, build_network, build_problem
+
+
+#: The build-heavy catalog instance (random leveled network + bottleneck
+#: selection) — same scenario the trial-throughput bench sweeps.
+SPEC = deep_random_spec(20, 6, 12, seed=2026)
+
+
+@pytest.fixture(scope="module")
+def prebuilt_network():
+    return build_network(SPEC)
+
+
+@pytest.fixture(scope="module")
+def prebuilt_problem(prebuilt_network):
+    return build_problem(SPEC, net=prebuilt_network)
+
+
+def test_setup_network_build(benchmark):
+    net = benchmark(build_network, SPEC)
+    assert net.depth == 20
+
+
+def test_setup_geometry_precompute(benchmark):
+    """Dense lookup-table construction, isolated from the topology build.
+
+    ``LeveledNetwork.geometry()`` memoizes, so each round rebuilds the
+    network first and only the geometry call is timed.
+    """
+
+    def fresh():
+        return build_network(SPEC)
+
+    def geometry(net):
+        return net.geometry()
+
+    geo = benchmark.pedantic(
+        geometry, setup=lambda: ((fresh(),), {}), rounds=20, iterations=1
+    )
+    assert geo.num_edges > 0
+
+
+def test_setup_path_selection(benchmark, prebuilt_network):
+    """Workload generation + bottleneck path selection on a fixed network."""
+    problem = benchmark(build_problem, SPEC, net=prebuilt_network)
+    assert problem.num_packets == 12
+
+
+def test_setup_engine_init(benchmark, prebuilt_problem):
+    """Engine construction with prebuilt geometry: the irreducible per-trial
+    setup that even a warm cache hit pays."""
+    from repro.sim import Engine
+
+    params = AlgorithmParams.practical(
+        prebuilt_problem.congestion,
+        prebuilt_problem.net.depth,
+        prebuilt_problem.num_packets,
+    )
+    geometry = prebuilt_problem.net.geometry()
+
+    def init():
+        return Engine(
+            prebuilt_problem,
+            FrontierFrameRouter(params, seed=1),
+            seed=2,
+            geometry=geometry,
+        )
+
+    engine = benchmark(init)
+    assert engine.num_active == 0
+
+
+def test_setup_warm_cache_hit(benchmark):
+    """A warm ``problem_for`` hit must be orders cheaper than a cold build."""
+    cache = ScenarioCache()
+    first = cache.problem_for(SPEC)
+    cold_misses = cache.stats()["misses"]
+
+    problem = benchmark(cache.problem_for, SPEC)
+    assert problem is first
+    assert cache.stats()["misses"] == cold_misses  # every timed call hit

@@ -370,17 +370,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         probe = build_topology(args.net, seed=args.seed)
         packets = len(probe.nodes_at_level(0)) // 2
     backend_params = {"audit": True} if args.audit else {}
-    specs = [
-        _cli_spec(
+    if args.fixed_problem:
+        # Monte Carlo over the algorithm's coins: one instance, many
+        # routings (the shape of the paper's probabilistic guarantees).
+        # All trials share a scenario hash, so batched execution builds
+        # the problem once per worker.
+        from .experiments import sweep_specs
+
+        base = _cli_spec(
             args.net,
             args.workload,
             packets,
-            seed,
+            args.seed,
             backend="frontier",
             backend_params=backend_params,
         )
-        for seed in derive_sweep_seeds(args.seed, args.trials)
-    ]
+        specs = sweep_specs(base, args.trials)
+    else:
+        specs = [
+            _cli_spec(
+                args.net,
+                args.workload,
+                packets,
+                seed,
+                backend="frontier",
+                backend_params=backend_params,
+            )
+            for seed in derive_sweep_seeds(args.seed, args.trials)
+        ]
     progress = None
     if args.telemetry:
 
@@ -408,7 +425,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ]
     print(
         f"sweep     : {args.trials} frontier trials on {args.net} / "
-        f"{args.workload} (workers={args.workers})"
+        f"{args.workload} (workers={args.workers}"
+        + (", fixed problem)" if args.fixed_problem else ")")
     )
     print(
         f"delivered : {delivered}/{len(records)} trials"
@@ -656,6 +674,13 @@ def make_parser() -> argparse.ArgumentParser:
         help="trial processes (1 = serial; results are identical either way)",
     )
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--fixed-problem",
+        action="store_true",
+        help="hold the instance fixed and vary only the routing coins "
+        "(Monte Carlo over the algorithm's randomness; trials then share "
+        "one warm-cached problem build per worker)",
+    )
     p_sweep.add_argument(
         "--audit", action="store_true", help="audit invariants I_a..I_f"
     )

@@ -25,8 +25,15 @@ from .parallel import (
     run_specs,
     run_trials_for_problem,
 )
+from .batch import (
+    TrialExecutor,
+    run_spec_trials_batched,
+    should_use_pool,
+    usable_cpus,
+)
 from .configs import (
     CATALOG,
+    sweep_specs,
     butterfly_random_instance,
     butterfly_random_spec,
     butterfly_hotrow_instance,
@@ -62,6 +69,11 @@ __all__ = [
     "run_spec_trials",
     "run_specs",
     "run_trials_for_problem",
+    "TrialExecutor",
+    "run_spec_trials_batched",
+    "should_use_pool",
+    "usable_cpus",
+    "sweep_specs",
     "CATALOG",
     "catalog_spec",
     "butterfly_random_instance",

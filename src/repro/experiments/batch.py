@@ -1,0 +1,280 @@
+"""Warm-pool batched trial execution: the sweep throughput layer.
+
+The paper's guarantees are probabilistic, so every experiment is a Monte
+Carlo sweep over many seeded trials — which makes *trial throughput*, not
+single-run step rate, the binding constraint on sweep wall-clock.  The
+naive fan-out (one pickled task per trial, a fresh problem build per
+trial) pays three overheads that dwarf the PR-1-optimized engine loop:
+process/task dispatch, per-trial re-pickling, and redundant
+``(network, geometry, paths)`` construction.  This module removes all
+three while keeping the pinned guarantee that serial and parallel sweeps
+return **byte-identical** records for the same specs:
+
+* **Persistent workers.**  One :class:`~concurrent.futures.
+  ProcessPoolExecutor` per sweep, whose initializer pre-imports the
+  scenario registries and opens the on-disk :class:`~repro.scenarios.
+  ResultCache` once, so no per-trial import or open cost remains.
+* **Chunked dispatch.**  Workers receive chunks of
+  :class:`~repro.scenarios.RunSpec` (sized by
+  :func:`~repro.experiments.parallel.default_chunksize`, which respects a
+  minimum per-chunk duration) instead of one pickled task per trial, and
+  return chunks of data-only records — the materialized problem never
+  crosses the process boundary.
+* **Per-worker scenario warm cache.**  Each worker holds a
+  :class:`~repro.scenarios.ScenarioCache` keyed by
+  :meth:`RunSpec.scenario_hash`, so all trials sharing a scenario (seeds
+  re-randomize frontier-set assignment and tie-breaks, never the problem —
+  see :meth:`RunSpec.with_pinned_scenario`) build the problem once per
+  worker.
+* **Adaptive dispatch.**  :func:`run_spec_trials_batched` first runs a
+  small probe chunk in the parent, estimates per-trial cost, and falls
+  back to (warm) serial execution when the remaining batch is too small to
+  amortize pool spin-up — so tiny sweeps are never slower than a plain
+  loop.  Requested workers are also clamped to the CPUs actually usable in
+  this process: on a single-core host a ``workers=4`` sweep runs the warm
+  serial path instead of paying fork-and-pickle for no parallelism.
+
+Determinism: a trial's outcome is a pure function of its spec, the warm
+cache only deduplicates pure builds, and records are assembled in spec
+order — so the execution strategy (serial, warm serial, pooled, any chunk
+size) can never leak into results, telemetry counters, or trace digests
+(pinned by ``tests/test_scenarios.py`` and ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+from ..scenarios import ScenarioCache
+from ..scenarios.cache import DEFAULT_SCENARIO_CAPACITY
+
+#: Budget for spinning up a worker pool (fork/spawn, initializer imports,
+#: first-chunk latency).  Deliberately pessimistic: when in doubt the
+#: dispatcher stays serial, which is never worse than today's loop.
+POOL_SPINUP_SEC = 0.35
+
+#: Projected pool savings must exceed spin-up by this factor before the
+#: dispatcher commits to forking (guards against estimate noise).
+POOL_ADVANTAGE_MARGIN = 1.25
+
+#: Trials executed in the parent to estimate per-trial cost ("the first
+#: completed chunk" of the adaptive dispatcher).
+PROBE_TRIALS = 4
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def should_use_pool(
+    num_trials: int,
+    per_trial_sec: float,
+    workers: int,
+    spinup_sec: float = POOL_SPINUP_SEC,
+) -> bool:
+    """The serial-fallback boundary of the adaptive dispatcher.
+
+    Pool dispatch is worth it only when the projected wall-clock saving of
+    fanning ``num_trials`` across ``workers`` processes exceeds the pool's
+    spin-up cost with a safety margin.  Small or cheap batches therefore
+    stay on the (warm) serial path — never slower than a plain loop.
+    """
+    if workers <= 1 or num_trials <= 1:
+        return False
+    serial_sec = num_trials * max(per_trial_sec, 0.0)
+    projected_saving = serial_sec * (1.0 - 1.0 / workers)
+    return projected_saving > spinup_sec * POOL_ADVANTAGE_MARGIN
+
+
+class TrialExecutor:
+    """Executes specs with warm scenario reuse; one per process.
+
+    Bundles the per-process execution state — the scenario warm cache, the
+    optional on-disk result-cache root, and the telemetry flag — so the
+    same code path serves the parent (serial and probe execution) and
+    every pool worker.
+    """
+
+    def __init__(
+        self,
+        cache_root: Optional[pathlib.Path] = None,
+        telemetry: bool = False,
+        warm: bool = True,
+        capacity: int = DEFAULT_SCENARIO_CAPACITY,
+    ) -> None:
+        self.cache_root = cache_root
+        self.telemetry = telemetry
+        self.scenarios = ScenarioCache(capacity) if warm else None
+
+    def run(self, spec):
+        """Execute one spec, returning a data-only record (no problem)."""
+        from ..scenarios import run_cached, run_trial
+
+        if self.cache_root is not None:
+            record = run_cached(
+                spec,
+                self.cache_root,
+                telemetry=self.telemetry,
+                warm=self.scenarios,
+            )
+        else:
+            record = run_trial(
+                spec, telemetry=self.telemetry, warm=self.scenarios
+            )
+        # Sweep records are plain data: the materialized problem is shared
+        # with the warm cache and must not ride back across process
+        # boundaries (pickling it per trial is what made the old pool 5x
+        # slower than serial).
+        record.problem = None
+        return record
+
+
+# ------------------------------------------------------- pool worker plumbing
+#
+# Module-level state + functions (not closures) so the pool can pickle the
+# chunk task; the initializer runs once per worker process.
+
+_WORKER: Optional[TrialExecutor] = None
+
+
+def _init_worker(
+    cache_root: Optional[pathlib.Path],
+    telemetry: bool,
+    warm: bool,
+    capacity: int,
+) -> None:
+    """Pool initializer: pre-import the pipeline, set up per-worker state."""
+    global _WORKER
+    # Importing the scenario package populates all four component
+    # registries; the runner import pulls in the frontier algorithm stack.
+    # Under the spawn start method this moves the entire import cost out of
+    # the first chunk; under fork it is a no-op revalidation.
+    import repro.experiments.runner  # noqa: F401
+    import repro.scenarios  # noqa: F401
+
+    _WORKER = TrialExecutor(
+        cache_root, telemetry=telemetry, warm=warm, capacity=capacity
+    )
+
+
+def _run_chunk(chunk: Sequence) -> List:
+    """Execute one chunk of specs in a pool worker, in order."""
+    executor = _WORKER
+    if executor is None:  # pool built without the initializer; be safe
+        return [TrialExecutor(warm=False).run(spec) for spec in chunk]
+    return [executor.run(spec) for spec in chunk]
+
+
+# ------------------------------------------------------------ sweep dispatch
+
+
+def _cache_root(cache) -> Optional[pathlib.Path]:
+    if cache is None:
+        return None
+    return pathlib.Path(getattr(cache, "root", cache))
+
+
+def run_spec_trials_batched(
+    specs: Sequence,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    cache=None,
+    telemetry: bool = False,
+    progress=None,
+    warm: bool = True,
+    dispatch: str = "auto",
+):
+    """Batched spec sweep: warm serial, or chunked over a persistent pool.
+
+    The implementation behind :func:`repro.experiments.run_spec_trials`;
+    see its docstring for the caller-facing contract.  ``dispatch`` picks
+    the strategy:
+
+    * ``"auto"`` (default) — clamp ``workers`` to usable CPUs, run a probe
+      chunk in the parent to estimate per-trial cost, then either finish
+      serially (batch too small to amortize pool spin-up) or fan the rest
+      across a persistent worker pool in duration-sized chunks;
+    * ``"serial"`` — force the warm in-process loop;
+    * ``"pool"`` — force pool dispatch for every spec (no probe, no CPU
+      clamp); used by tests and benchmarks that must exercise the pool
+      machinery regardless of host shape.
+
+    Records come back in spec order and are byte-identical across every
+    strategy.
+    """
+    from .parallel import default_chunksize, resolve_workers
+
+    if dispatch not in ("auto", "serial", "pool"):
+        raise ValueError(
+            f"dispatch must be 'auto', 'serial', or 'pool', got {dispatch!r}"
+        )
+    specs = list(specs)
+    total = len(specs)
+    root = _cache_root(cache)
+    workers = resolve_workers(workers)
+    if dispatch == "auto":
+        workers = min(workers, usable_cpus())
+
+    executor = TrialExecutor(root, telemetry=telemetry, warm=warm)
+    records: List = []
+
+    def _serial(batch) -> None:
+        for spec in batch:
+            records.append(executor.run(spec))
+            if progress is not None:
+                progress(len(records), total, records[-1])
+
+    if dispatch == "serial" or (dispatch == "auto" and (workers <= 1 or total <= 1)):
+        _serial(specs)
+        return records
+
+    remaining = specs
+    per_trial: Optional[float] = None
+    if dispatch == "auto":
+        # Probe chunk: run a few trials in the parent (warm), time them,
+        # and only fork when the remainder amortizes pool spin-up.
+        probe = specs[: min(PROBE_TRIALS, total)]
+        start = perf_counter()
+        _serial(probe)
+        per_trial = (perf_counter() - start) / len(probe)
+        remaining = specs[len(probe):]
+        if not remaining or not should_use_pool(
+            len(remaining), per_trial, workers
+        ):
+            _serial(remaining)
+            return records
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    if chunksize is None:
+        chunksize = default_chunksize(
+            len(remaining), workers, per_item_sec=per_trial
+        )
+    chunks = [
+        remaining[i : i + chunksize]
+        for i in range(0, len(remaining), chunksize)
+    ]
+    capacity = (
+        executor.scenarios.capacity
+        if executor.scenarios is not None
+        else DEFAULT_SCENARIO_CAPACITY
+    )
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_init_worker,
+        initargs=(root, telemetry, warm, capacity),
+    ) as pool:
+        # chunksize=1: each mapped item is already a chunk of specs.
+        for chunk_records in pool.map(_run_chunk, chunks):
+            for record in chunk_records:
+                records.append(record)
+                if progress is not None:
+                    progress(len(records), total, record)
+    return records

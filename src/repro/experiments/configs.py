@@ -229,6 +229,33 @@ def catalog_spec(name: str, seed: int | None = None) -> RunSpec:
     return spec if seed is None else spec.with_seed(seed)
 
 
+def sweep_specs(
+    base: RunSpec, num_trials: int, base_seed: int | None = None
+) -> List[RunSpec]:
+    """A fixed-problem Monte Carlo sweep: one spec per trial seed.
+
+    The paper's guarantees (Theorem 4.26) are probabilistic over the
+    *algorithm's* coins for a fixed instance, so the canonical sweep holds
+    the problem constant and re-rolls only the routing randomness: the
+    base spec's component seeds are pinned to their resolved values
+    (:meth:`~repro.scenarios.RunSpec.with_pinned_scenario`), then the
+    master seed — which only the backend consumes once components are
+    pinned — is varied per trial via :func:`derive_sweep_seeds`.
+
+    Every returned spec shares the base's scenario hash, so batched
+    execution (:func:`~repro.experiments.run_spec_trials`) builds the
+    ``(network, geometry, paths)`` triple once per worker and reuses it
+    across the whole sweep.
+    """
+    from .parallel import derive_sweep_seeds
+
+    pinned = base.with_pinned_scenario()
+    seeds = derive_sweep_seeds(
+        base.seed if base_seed is None else base_seed, num_trials
+    )
+    return [pinned.with_seed(seed) for seed in seeds]
+
+
 # ----------------------------------------------------- legacy instance views
 #
 # The historical builder API, now materialized through the dispatcher.  The

@@ -43,12 +43,35 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def default_chunksize(num_items: int, workers: int) -> int:
+#: Minimum wall-clock duration one dispatched chunk should represent: for
+#: very cheap items, chunks grow beyond the count-based default so pickling
+#: and queue round-trips stay amortized.
+MIN_CHUNK_SEC = 0.025
+
+
+def default_chunksize(
+    num_items: int,
+    workers: int,
+    per_item_sec: Optional[float] = None,
+    min_chunk_sec: float = MIN_CHUNK_SEC,
+) -> int:
     """Chunked dispatch: ~4 chunks per worker bounds scheduling overhead
-    while keeping the pool load-balanced when trial durations vary."""
+    while keeping the pool load-balanced when trial durations vary.
+
+    When the caller knows the per-item cost (the adaptive dispatcher's
+    probe measures it), chunks are additionally sized up to a minimum
+    duration target, capped at one chunk per worker so every worker still
+    gets work.  Without a cost estimate the count-based heuristic is
+    unchanged.
+    """
     if workers <= 1:
         return max(1, num_items)
-    return max(1, math.ceil(num_items / (workers * 4)))
+    size = max(1, math.ceil(num_items / (workers * 4)))
+    if per_item_sec is not None and per_item_sec > 0:
+        by_duration = math.ceil(min_chunk_sec / per_item_sec)
+        per_worker_cap = max(1, math.ceil(num_items / workers))
+        size = max(size, min(by_duration, per_worker_cap))
+    return size
 
 
 #: Per-item progress callback: ``progress(done, total, item_result)``.
@@ -120,29 +143,6 @@ def _router_trial_task(
     return run_router_trial(problem, router_factory, seed, max_steps)
 
 
-def _spec_trial_task(spec):
-    from ..scenarios import run_trial
-
-    return run_trial(spec)
-
-
-def _spec_cached_task(cache_root, spec):
-    from ..scenarios import run_cached
-
-    return run_cached(spec, cache_root)
-
-
-def _spec_telemetry_task(cache_root, spec):
-    # Telemetry sessions are process-local, so each pool worker opens its
-    # own around its trial; counters are deterministic, hence identical to
-    # a serial run's (pinned by tests/test_telemetry.py).
-    from ..scenarios import run_cached, run_trial
-
-    if cache_root is not None:
-        return run_cached(spec, cache_root, telemetry=True)
-    return run_trial(spec, telemetry=True)
-
-
 # ---------------------------------------------------------------- sweep API
 
 
@@ -206,6 +206,8 @@ def run_spec_trials(
     cache=None,
     telemetry: bool = False,
     progress: Optional[ProgressFn] = None,
+    warm: bool = True,
+    dispatch: str = "auto",
 ):
     """Dispatch a list of :class:`~repro.scenarios.RunSpec` (serial/parallel).
 
@@ -216,33 +218,37 @@ def run_spec_trials(
     — serial and parallel runs are byte-identical.  Specs are plain data,
     so they pickle across the pool by construction.
 
+    Execution goes through the batched layer
+    (:mod:`repro.experiments.batch`): trials sharing a scenario reuse one
+    materialized problem per process (``warm=True``, the default — disable
+    to force a fresh build per trial), and ``workers > 1`` dispatches
+    chunks of specs to a persistent pool only when the adaptive probe
+    decides the batch amortizes pool spin-up; small batches always run the
+    warm serial path.  ``dispatch`` overrides the strategy (``"auto"`` /
+    ``"serial"`` / ``"pool"``, see
+    :func:`~repro.experiments.batch.run_spec_trials_batched`).
+
+    Records are data-only: ``record.problem`` is ``None`` (the build lives
+    in the warm cache, not on the record), so sweeps never pickle networks
+    back from workers.
+
     ``telemetry=True`` runs every trial under its own telemetry session
     (one per worker process): each record comes back with
     ``result.telemetry`` counters and pipeline ``timings`` attached, ready
     for :func:`repro.telemetry.aggregate_counters`.  ``progress`` is the
     per-trial callback of :func:`parallel_map`.
     """
-    root = None
-    if cache is not None:
-        import pathlib
+    from .batch import run_spec_trials_batched
 
-        root = pathlib.Path(getattr(cache, "root", cache))
-    if telemetry:
-        task = functools.partial(_spec_telemetry_task, root)
-        return parallel_map(
-            task, specs, workers=workers, chunksize=chunksize, progress=progress
-        )
-    if root is not None:
-        task = functools.partial(_spec_cached_task, root)
-        return parallel_map(
-            task, specs, workers=workers, chunksize=chunksize, progress=progress
-        )
-    return parallel_map(
-        _spec_trial_task,
+    return run_spec_trials_batched(
         specs,
         workers=workers,
         chunksize=chunksize,
+        cache=cache,
+        telemetry=telemetry,
         progress=progress,
+        warm=warm,
+        dispatch=dispatch,
     )
 
 

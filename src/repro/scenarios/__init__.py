@@ -33,7 +33,7 @@ from .dispatch import (
     run_cached,
     run_trial,
 )
-from .cache import CACHE_ENV_VAR, ResultCache
+from .cache import CACHE_ENV_VAR, ResultCache, ScenarioCache
 from . import components  # noqa: F401  (populates the registries on import)
 
 __all__ = [
@@ -53,5 +53,6 @@ __all__ = [
     "run_trial",
     "run_cached",
     "ResultCache",
+    "ScenarioCache",
     "CACHE_ENV_VAR",
 ]

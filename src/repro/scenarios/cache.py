@@ -1,15 +1,22 @@
-"""On-disk result cache keyed by spec content hash.
+"""Result and scenario caches keyed by spec content.
 
-Scenario runs are pure functions of their :class:`~repro.scenarios.RunSpec`
-(single-seed determinism is the repo's core invariant), so results can be
-memoized on disk: the cache key is :meth:`RunSpec.content_hash` and the
-payload stores the full spec dict alongside the serialized
-:class:`~repro.sim.RunResult`, letting a hit verify it belongs to the
-requesting spec (a hash collision or hand-edited file degrades to a miss,
-never to a wrong answer).
+Two memoization layers, both hanging off the purity of the scenario
+pipeline (single-seed determinism is the repo's core invariant):
 
-The default location is ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` under the
-current directory; sweeps and the CLI pass an explicit directory.
+* :class:`ResultCache` — **on disk, across processes.**  Keyed by
+  :meth:`RunSpec.content_hash`; the payload stores the full spec dict
+  alongside the serialized :class:`~repro.sim.RunResult`, letting a hit
+  verify it belongs to the requesting spec (a hash collision or
+  hand-edited file degrades to a miss, never to a wrong answer).
+* :class:`ScenarioCache` — **in process, within a sweep.**  Keyed by
+  :meth:`RunSpec.scenario_hash`; holds materialized ``(network, geometry,
+  paths)`` builds so trials that share a scenario (Monte Carlo sweeps over
+  routing coins, see :meth:`RunSpec.with_pinned_scenario`) pay problem
+  construction once.  Safe because trials never mutate their problem —
+  the fixed-problem parallel runners have relied on that since PR 1.
+
+The default on-disk location is ``$REPRO_CACHE_DIR`` or ``.repro_cache/``
+under the current directory; sweeps and the CLI pass an explicit directory.
 """
 
 from __future__ import annotations
@@ -17,17 +24,109 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Optional, Tuple, Union
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional, Tuple, Union
 
 from ..io import result_from_dict, result_to_dict
 from ..sim import RunResult
 from .spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..net import LeveledNetwork
+    from ..paths import RoutingProblem
 
 PathLike = Union[str, pathlib.Path]
 
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIRNAME = ".repro_cache"
 CACHE_FORMAT = 1
+
+#: Default bound on distinct warm scenarios held in memory per process.
+DEFAULT_SCENARIO_CAPACITY = 32
+
+
+class ScenarioCache:
+    """LRU cache of materialized scenarios, keyed by scenario hash.
+
+    One instance lives in each sweep worker (and in the parent for serial
+    sweeps).  ``problem_for`` returns the *same* problem object for every
+    spec sharing a scenario hash; reuse is semantically safe because
+    engines and schedulers treat problems as read-only plain data.
+    Networks are cached separately so network-level (dynamic) backends and
+    problem builds share topology construction too.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SCENARIO_CAPACITY) -> None:
+        self.capacity = max(1, int(capacity))
+        self._problems: "OrderedDict[str, RoutingProblem]" = OrderedDict()
+        self._networks: "OrderedDict[str, LeveledNetwork]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._problems)
+
+    def _get(self, table: OrderedDict, key: str):
+        entry = table.get(key)
+        if entry is not None:
+            table.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def _put(self, table: OrderedDict, key: str, value) -> None:
+        table[key] = value
+        if len(table) > self.capacity:
+            table.popitem(last=False)
+
+    def network_for(self, spec: RunSpec) -> "LeveledNetwork":
+        """The spec's topology, built once per distinct topology content."""
+        from .dispatch import build_network
+
+        key = _network_key(spec)
+        net = self._get(self._networks, key)
+        if net is None:
+            net = build_network(spec)
+            net.geometry()  # precompute the dense tables while warm
+            self._put(self._networks, key, net)
+        return net
+
+    def problem_for(self, spec: RunSpec) -> "RoutingProblem":
+        """The spec's routing problem, built once per scenario hash."""
+        from .dispatch import build_problem
+
+        key = spec.scenario_hash()
+        problem = self._get(self._problems, key)
+        if problem is None:
+            problem = build_problem(spec, net=self.network_for(spec))
+            self._put(self._problems, key, problem)
+        return problem
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus current occupancy (for bench reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "problems": len(self._problems),
+            "networks": len(self._networks),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached build (counters keep accumulating)."""
+        self._problems.clear()
+        self._networks.clear()
+
+
+def _network_key(spec: RunSpec) -> str:
+    """Cache key for the topology component alone."""
+    params = dict(spec.topology_params)
+    params["seed"] = spec.topology_seed()
+    return json.dumps(
+        {"topology": spec.topology, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 class ResultCache:

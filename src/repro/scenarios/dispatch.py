@@ -105,17 +105,21 @@ def _network_backend_names() -> str:
     return ", ".join(names)
 
 
-def _dispatch(spec: RunSpec, problem: Optional[RoutingProblem]) -> ScenarioRun:
+def _dispatch(
+    spec: RunSpec, problem: Optional[RoutingProblem], warm=None
+) -> ScenarioRun:
     backend = BACKENDS.get(spec.backend)
     needs = getattr(backend, "needs", "problem")
     params = dict(spec.backend_params)
     if needs == "network":
-        net = build_network(spec)
+        net = warm.network_for(spec) if warm is not None else build_network(spec)
         with span("backend"):
             result, audit = backend(net, spec.seed, params)
         return ScenarioRun(spec=spec, result=result, audit=audit)
     if problem is None:
-        problem = build_problem(spec)
+        problem = (
+            warm.problem_for(spec) if warm is not None else build_problem(spec)
+        )
     with span("backend"):
         result, audit = backend(problem, spec.seed, params)
     return ScenarioRun(spec=spec, result=result, audit=audit, problem=problem)
@@ -132,6 +136,7 @@ def run_trial(
     problem: Optional[RoutingProblem] = None,
     telemetry: bool = False,
     trace_path=None,
+    warm=None,
 ) -> ScenarioRun:
     """Dispatch one spec and return the full record (result + audit).
 
@@ -139,12 +144,19 @@ def run_trial(
     avoid rebuilding (the CLI prints the instance before running it);
     callers are responsible for it matching the spec.
 
+    ``warm`` may pass a :class:`~repro.scenarios.cache.ScenarioCache`: the
+    problem (or network) is then fetched by scenario hash and built only on
+    a miss, so trials sharing a scenario amortize construction.  Results
+    are byte-identical with and without a warm cache — the cache only
+    deduplicates pure builds (pinned by ``tests/test_scenarios.py``).
+
     ``telemetry=True`` (or a ``trace_path``) runs the trial under a
     :class:`~repro.telemetry.TelemetrySession`: counters land on
     ``result.telemetry``, wall-clock spans on the record's ``timings``, and
     the event stream goes to ``trace_path`` when given.  A session already
     active in this process is reused instead (its counters span every trial
-    it covers).
+    it covers).  Build spans only appear on warm-cache misses (a hit does
+    no building); event counters never differ.
     """
     ambient = current_session()
     if ambient is None and (telemetry or trace_path is not None):
@@ -153,8 +165,8 @@ def run_trial(
         with TelemetrySession(
             trace_path=trace_path, spec_hash=spec.content_hash()
         ) as session:
-            return _finalize(_dispatch(spec, problem), session)
-    record = _dispatch(spec, problem)
+            return _finalize(_dispatch(spec, problem, warm), session)
+    record = _dispatch(spec, problem, warm)
     if ambient is not None:
         _finalize(record, ambient)
     return record
@@ -170,6 +182,7 @@ def run_cached(
     cache=None,
     telemetry: bool = False,
     trace_path=None,
+    warm=None,
 ) -> ScenarioRun:
     """Like :func:`run_trial`, backed by an on-disk result cache.
 
@@ -178,7 +191,8 @@ def run_cached(
     materialized problems are not cached; a hit returns the cached result —
     including any telemetry counters stored with it — plus the recorded
     pipeline timings, without re-running anything (``repro report`` relies
-    on this).
+    on this).  ``warm`` passes a scenario cache through to
+    :func:`run_trial` for disk misses.
     """
     from .cache import ResultCache
 
@@ -190,6 +204,6 @@ def run_cached(
     if hit is not None:
         result, timings = hit
         return ScenarioRun(spec=spec, result=result, cached=True, timings=timings)
-    record = run_trial(spec, telemetry=telemetry, trace_path=trace_path)
+    record = run_trial(spec, telemetry=telemetry, trace_path=trace_path, warm=warm)
     cache.store(spec, record.result, timings=record.timings)
     return record

@@ -112,6 +112,24 @@ class RunSpec:
         merged = {**self.backend_params, **backend_params}
         return dataclasses.replace(self, backend_params=merged)
 
+    def with_pinned_scenario(self) -> "RunSpec":
+        """A copy whose component seeds are pinned to their resolved values.
+
+        After pinning, changing ``seed`` re-randomizes only what the backend
+        draws (frontier-set assignment, arbitration tie-breaks) — the
+        topology, workload, and selected paths stay byte-identical, which is
+        the Monte Carlo design of the paper's probabilistic guarantees: many
+        coin flips over one fixed instance.  All pinned variants share a
+        :meth:`scenario_hash`, so sweeps over them hit the warm scenario
+        cache after the first build.
+        """
+        return dataclasses.replace(
+            self,
+            topology_params={**self.topology_params, "seed": self.topology_seed()},
+            workload_params={**self.workload_params, "seed": self.workload_seed()},
+            selector_params={**self.selector_params, "seed": self.selector_seed()},
+        )
+
     # -------------------------------------------------------- derived seeds
 
     def topology_seed(self) -> int:
@@ -236,6 +254,49 @@ class RunSpec:
         :func:`repro.rng.stable_hash_seed`.
         """
         payload = self.hash_payload()
+        return format(stable_hash_seed(len(payload), *payload), "016x")
+
+    def scenario_payload(self) -> bytes:
+        """Canonical JSON bytes of the *problem-determining* fields.
+
+        The materialized instance — network, geometry, workload endpoints,
+        selected paths — is a pure function of the topology / workload /
+        selector names, their params, and the three *resolved* component
+        seeds.  The backend, its params, and the master ``seed`` (which the
+        backend alone consumes once component seeds are resolved) are
+        excluded: two specs with equal scenario payloads build identical
+        :class:`~repro.paths.RoutingProblem` instances even when their
+        routing coins differ.
+        """
+        # Each component hashes the exact params its builder receives (the
+        # dispatcher merges the resolved seed in), so a pinned spec and its
+        # unpinned original share a scenario hash.
+        record = {
+            "topology": self.topology,
+            "topology_params": _plain(
+                {**self.topology_params, "seed": self.topology_seed()}
+            ),
+            "workload": self.workload,
+            "workload_params": _plain(
+                {**self.workload_params, "seed": self.workload_seed()}
+            ),
+            "selector": self.selector,
+            "selector_params": _plain(
+                {**self.selector_params, "seed": self.selector_seed()}
+            ),
+        }
+        return json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def scenario_hash(self) -> str:
+        """16-hex-digit address of the problem this spec materializes.
+
+        Keys the in-process warm scenario cache
+        (:class:`~repro.scenarios.cache.ScenarioCache`): specs sharing a
+        scenario hash share one ``(network, geometry, paths)`` build.
+        """
+        payload = self.scenario_payload()
         return format(stable_hash_seed(len(payload), *payload), "016x")
 
     def describe(self) -> str:

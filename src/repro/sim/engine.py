@@ -77,6 +77,7 @@ class Engine:
         seed: RngLike = None,
         observers: Sequence[Observer] = (),
         enable_fast_forward: bool = True,
+        geometry=None,
     ) -> None:
         self.problem = problem
         self.net: LeveledNetwork = problem.net
@@ -105,7 +106,9 @@ class Engine:
         self._step_timer = None
 
         # Dense geometry tables (built once per network, shared by engines).
-        geo = self.net.geometry()
+        # ``geometry`` lets warm-cache callers hand in a prebuilt table set
+        # explicitly; otherwise the network's own cached build is used.
+        geo = geometry if geometry is not None else self.net.geometry()
         self._edge_src = geo.edge_src
         self._edge_dst = geo.edge_dst
         self._in_edges = geo.in_edges

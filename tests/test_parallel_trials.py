@@ -21,6 +21,7 @@ from repro.baselines import GreedyHotPotatoRouter, NaivePathRouter
 from repro.experiments import (
     butterfly_hotrow_instance,
     butterfly_random_instance,
+    butterfly_random_spec,
     default_chunksize,
     derive_sweep_seeds,
     env_workers,
@@ -29,7 +30,10 @@ from repro.experiments import (
     run_frontier_trial,
     run_frontier_trials,
     run_router_trials,
+    run_spec_trials,
     run_trials_for_problem,
+    should_use_pool,
+    sweep_specs,
 )
 from repro.net import NetworkGeometry, butterfly, mesh, slot_direction, slot_edge, slot_id
 from repro.sim import Engine, TraceRecorder
@@ -113,6 +117,16 @@ class TestParallelHelpers:
         assert default_chunksize(3, 8) == 1
         assert default_chunksize(0, 4) == 1
 
+    def test_default_chunksize_duration_target(self):
+        # Cheap items grow chunks until one chunk spans MIN_CHUNK_SEC...
+        assert default_chunksize(100, 4, per_item_sec=0.001) == 25
+        # ...capped at one chunk per worker so everyone still gets work...
+        assert default_chunksize(8, 4, per_item_sec=0.0001) == 2
+        # ...while expensive items keep the count-based load-balanced size.
+        assert default_chunksize(100, 4, per_item_sec=0.01) == 7
+        # Serial dispatch ignores the estimate: one chunk regardless.
+        assert default_chunksize(100, 1, per_item_sec=0.0001) == 100
+
     def test_derive_sweep_seeds_is_stable(self):
         a = derive_sweep_seeds(42, 5)
         b = derive_sweep_seeds(42, 5)
@@ -127,6 +141,71 @@ class TestParallelHelpers:
         assert env_workers() == 6
         monkeypatch.setenv("REPRO_BENCH_WORKERS", "zero")
         assert env_workers(default=2) == 2
+
+
+class TestBatchedDispatch:
+    """The warm-pool batched sweep layer (repro.experiments.batch)."""
+
+    def _specs(self, count, seed=5):
+        return sweep_specs(
+            butterfly_random_spec(3, seed=seed, m=8, w_factor=8.0), count
+        )
+
+    def test_should_use_pool_boundary(self):
+        # Degenerate batches and serial worker counts never fork.
+        assert not should_use_pool(1, 10.0, 4)
+        assert not should_use_pool(64, 0.01, 1)
+        # Cheap batches don't amortize spin-up; expensive ones do.
+        assert not should_use_pool(100, 0.001, 4)
+        assert should_use_pool(100, 0.01, 4)
+        # The issue's small-batch guarantee: <=12 quick trials stay serial.
+        assert not should_use_pool(12, 0.02, 4)
+        # Strict inequality at the margin: saving must *exceed* the
+        # (margin-scaled) spin-up budget.
+        assert should_use_pool(10, 0.1, 2, spinup_sec=0.35)
+        assert not should_use_pool(10, 0.1, 2, spinup_sec=0.4)
+
+    def test_small_batch_auto_matches_cold_serial(self):
+        specs = self._specs(6, seed=9)
+        cold = run_spec_trials(specs, workers=1, warm=False, dispatch="serial")
+        auto = run_spec_trials(specs, workers=4, dispatch="auto")
+        assert [asdict(a.result) for a in cold] == [
+            asdict(b.result) for b in auto
+        ]
+
+    def test_forced_pool_identical_to_cold_serial(self):
+        specs = self._specs(5)
+        serial = run_spec_trials(specs, dispatch="serial", warm=False)
+        pooled = run_spec_trials(
+            specs, workers=2, chunksize=2, dispatch="pool"
+        )
+        assert [r.spec.content_hash() for r in serial] == [
+            r.spec.content_hash() for r in pooled
+        ]
+        assert [asdict(a.result) for a in serial] == [
+            asdict(b.result) for b in pooled
+        ]
+        # Sweep records are data-only: no problem rides back from workers.
+        assert all(r.problem is None for r in serial + pooled)
+
+    def test_pool_preserves_order_and_progress(self):
+        specs = self._specs(7, seed=3)
+        seen = []
+        records = run_spec_trials(
+            specs,
+            workers=2,
+            chunksize=3,
+            dispatch="pool",
+            progress=lambda d, t, r: seen.append((d, t)),
+        )
+        assert [r.spec.content_hash() for r in records] == [
+            s.content_hash() for s in specs
+        ]
+        assert seen == [(i + 1, 7) for i in range(7)]
+
+    def test_dispatch_mode_is_validated(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            run_spec_trials([], dispatch="threads")
 
 
 # The exact event stream of this fixed-seed contention-heavy run was

@@ -407,3 +407,74 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         cache = ResultCache.default()
         assert pathlib.Path(cache.root) == tmp_path / "envcache"
+
+
+# ------------------------------------------------------- scenario warm cache
+
+
+class TestScenarioWarmCache:
+    def test_pinning_preserves_scenario_hash(self):
+        spec = _spec("frontier", m=8, w_factor=8.0)
+        pinned = spec.with_pinned_scenario()
+        # Pinning resolves component seeds to the values the builders were
+        # going to receive anyway, so the scenario content is unchanged...
+        assert pinned.scenario_hash() == spec.scenario_hash()
+        # ...but the content hash differs (the params now carry the seeds).
+        assert pinned.content_hash() != spec.content_hash()
+
+    def test_master_seed_only_reaches_backend_once_pinned(self):
+        spec = _spec("frontier", m=8, w_factor=8.0)
+        pinned = spec.with_pinned_scenario()
+        # Unpinned, the master seed derives the component seeds, so a
+        # re-seed changes the scenario; pinned, it only feeds the backend.
+        assert spec.with_seed(1234).scenario_hash() != spec.scenario_hash()
+        assert pinned.with_seed(1234).scenario_hash() == spec.scenario_hash()
+
+    def test_backend_excluded_from_scenario_hash(self):
+        assert (
+            _spec("frontier", m=8).scenario_hash()
+            == _spec("naive").scenario_hash()
+        )
+
+    def test_scenario_content_changes_hash(self):
+        spec = _spec("frontier")
+        other = dataclasses.replace(spec, topology_params={"dim": 3})
+        assert other.scenario_hash() != spec.scenario_hash()
+
+    def test_sweep_specs_share_one_problem_build(self):
+        from repro.experiments import sweep_specs
+        from repro.scenarios import ScenarioCache
+
+        specs = sweep_specs(_spec("frontier", m=8, w_factor=8.0), 4)
+        cache = ScenarioCache()
+        problems = [cache.problem_for(s) for s in specs]
+        assert all(p is problems[0] for p in problems)
+        stats = cache.stats()
+        assert stats["problems"] == 1 and stats["networks"] == 1
+        assert stats["hits"] >= len(specs) - 1
+
+    def test_warm_and_cold_records_are_byte_identical(self):
+        from dataclasses import asdict
+
+        from repro.scenarios import ScenarioCache
+
+        warm = ScenarioCache()
+        for seed in (1, 2, 3):
+            spec = _spec("frontier", seed=seed, m=8, w_factor=8.0)
+            cold = run_trial(spec)
+            warmed = run_trial(spec, warm=warm)
+            assert asdict(cold.result) == asdict(warmed.result)
+
+    def test_lru_eviction_respects_capacity(self):
+        from repro.scenarios import ScenarioCache
+
+        cache = ScenarioCache(capacity=2)
+        specs = [_spec("frontier", seed=s) for s in (1, 2, 3)]
+        for spec in specs:
+            cache.problem_for(spec)
+        assert cache.stats()["problems"] == 2
+        # Least recently used (seed=1) was evicted: re-fetch rebuilds (the
+        # network key derives from the seed too, so that misses as well).
+        before = cache.misses
+        cache.problem_for(specs[0])
+        assert cache.misses > before

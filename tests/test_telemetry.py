@@ -445,3 +445,42 @@ class TestCacheAndReport:
         assert code == 0
         assert "telemetry :" in captured.out
         assert "trial 1/2" in captured.err
+
+
+# --------------------------------------------------- batched-sweep identity
+
+
+class TestBatchedExecutionIdentity:
+    """Warm-cache / pooled execution must be invisible to observability."""
+
+    def test_pooled_telemetry_counters_identical(self):
+        specs = [_spec(seed=s, name=f"t{s}") for s in (1, 2, 3, 4)]
+        cold = run_spec_trials(
+            specs, telemetry=True, warm=False, dispatch="serial"
+        )
+        pooled = run_spec_trials(
+            specs, workers=2, chunksize=2, telemetry=True, dispatch="pool"
+        )
+        for a, b in zip(cold, pooled):
+            assert a.result.telemetry == b.result.telemetry
+            assert asdict(a.result) == asdict(b.result)
+
+    def test_warm_cache_preserves_trace_digest(self, tmp_path):
+        from repro.scenarios import ScenarioCache
+
+        spec = _spec(seed=7, name="warmtrace")
+        cold_path = tmp_path / "cold.jsonl"
+        warm_path = tmp_path / "warm.jsonl"
+        cold = run_trial(spec, trace_path=str(cold_path))
+
+        warm = ScenarioCache()
+        warm.problem_for(spec)  # pre-warm: the traced run is a pure hit
+        warmed = run_trial(spec, trace_path=str(warm_path), warm=warm)
+
+        assert asdict(cold.result) == asdict(warmed.result)
+        cold_events = load_trace(cold_path).events
+        warm_events = load_trace(warm_path).events
+        assert cold_events == warm_events
+        assert _trace_fingerprint(cold_events) == _trace_fingerprint(
+            warm_events
+        )

@@ -9,6 +9,8 @@ scenario layer (:mod:`repro.scenarios`).
 from .runner import (
     TrialRecord,
     run_frontier_trial,
+    run_frontier_vec_trial,
+    run_naive_vec_trial,
     run_router_trial,
     run_frontier_trials,
 )
@@ -56,6 +58,8 @@ from .configs import (
 __all__ = [
     "TrialRecord",
     "run_frontier_trial",
+    "run_frontier_vec_trial",
+    "run_naive_vec_trial",
     "run_router_trial",
     "run_frontier_trials",
     "WORKERS_ENV_VAR",

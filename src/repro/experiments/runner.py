@@ -90,6 +90,92 @@ def run_frontier_trial(
     return TrialRecord(seed=seed, result=result, audit=report)
 
 
+def run_frontier_vec_trial(
+    problem: RoutingProblem,
+    seed: int,
+    params: Optional[AlgorithmParams] = None,
+    audit: bool = False,
+    condition_sets: bool = False,
+    fast_forward: bool = True,
+    max_steps: Optional[int] = None,
+    audit_congestion_bound: Optional[float] = None,
+    **params_kwargs,
+) -> TrialRecord:
+    """Run one frontier trial on the vectorized kernel.
+
+    Byte-identical to :func:`run_frontier_trial` with the same arguments
+    (same RNG stream derivations, same result digests) — see the
+    equivalence contract in :mod:`repro.sim.engine_vec`.  Falls back to
+    the reference engine when auditing is requested (the invariant
+    auditor needs the reference engine's post-step hooks) or when numpy
+    is unavailable.
+    """
+    from ..sim.engine_vec import VecEngine, numpy_available
+
+    if audit or not numpy_available():
+        return run_frontier_trial(
+            problem,
+            seed,
+            params=params,
+            audit=audit,
+            condition_sets=condition_sets,
+            fast_forward=fast_forward,
+            max_steps=max_steps,
+            audit_congestion_bound=audit_congestion_bound,
+            **params_kwargs,
+        )
+    if params is None:
+        params = AlgorithmParams.practical(
+            max(1, problem.congestion),
+            problem.net.depth,
+            problem.num_packets,
+            **params_kwargs,
+        )
+    set_of = None
+    if condition_sets:
+        set_of = resample_until_bounded(
+            problem,
+            params.num_sets,
+            params.set_congestion_bound,
+            seed=stable_hash_seed(seed, 1),
+        )
+    engine = VecEngine.frontier(
+        problem,
+        params,
+        set_of=set_of,
+        router_seed=stable_hash_seed(seed, 2),
+        seed=stable_hash_seed(seed, 3),
+        enable_fast_forward=fast_forward,
+    )
+    budget = max_steps if max_steps is not None else params.total_steps
+    result = engine.run(budget)
+    return TrialRecord(seed=seed, result=result)
+
+
+def run_naive_vec_trial(
+    problem: RoutingProblem,
+    seed: int,
+    max_steps: int,
+) -> RunResult:
+    """Run the naive baseline on the vectorized kernel.
+
+    Byte-identical to ``run_router_trial`` with a ``NaivePathRouter``
+    factory and the same seed (the naive router draws no randomness of
+    its own, so only the engine stream matters).  Falls back to the
+    reference engine when numpy is unavailable.
+    """
+    from ..sim.engine_vec import VecEngine, numpy_available
+
+    if not numpy_available():
+        from ..baselines import NaivePathRouter
+
+        return run_router_trial(
+            problem, lambda _seed: NaivePathRouter(), seed, max_steps
+        )
+    engine = VecEngine.naive(problem, seed=stable_hash_seed(seed, 5))
+    return engine.run(max_steps)
+
+
 def run_router_trial(
     problem: RoutingProblem,
     router_factory: Callable[[int], Router],

@@ -61,6 +61,7 @@ class NetworkGeometry:
         "in_slot_ids",
         "out_slot_ids",
         "node_levels",
+        "_vec_arrays",
     )
 
     def __init__(self, net: "LeveledNetwork") -> None:
@@ -79,6 +80,19 @@ class NetworkGeometry:
         self.out_slot_ids: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(e << 1 for e in edges) for edges in self.out_edges
         )
+        self._vec_arrays = None
+
+    def arrays(self):
+        """Numpy views of the endpoint/level tables, built and cached lazily.
+
+        Imported on first use so the geometry stays loadable without numpy;
+        only the vectorized kernel (:mod:`repro.sim.engine_vec`) calls this.
+        """
+        if self._vec_arrays is None:
+            from ..sim.soa import GeometryArrays
+
+            self._vec_arrays = GeometryArrays(self)
+        return self._vec_arrays
 
     def traversal_slot(self, edge: EdgeId, from_node: NodeId) -> int:
         """Encoded slot for traversing ``edge`` starting at ``from_node``.

@@ -5,6 +5,12 @@ from .events import EventKind, TraceEvent, TraceRecorder
 from .router import DesiredMove, Router
 from .metrics import RunResult
 from .engine import Engine, Slot
+from .soa import NUMPY_AVAILABLE, FrontierArrays, GeometryArrays, PacketArrays
+from .engine_vec import (
+    VecEngine,
+    VectorBackendUnavailable,
+    numpy_available,
+)
 
 __all__ = [
     "Packet",
@@ -17,4 +23,11 @@ __all__ = [
     "RunResult",
     "Engine",
     "Slot",
+    "NUMPY_AVAILABLE",
+    "GeometryArrays",
+    "PacketArrays",
+    "FrontierArrays",
+    "VecEngine",
+    "VectorBackendUnavailable",
+    "numpy_available",
 ]

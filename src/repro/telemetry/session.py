@@ -99,8 +99,11 @@ class TelemetrySession:
         if self.sink is not None:
             if self.engines_attached == 1:
                 problem = engine.problem
+                router_name = getattr(engine, "router_name", None)
+                if router_name is None:
+                    router_name = type(engine.router).__name__
                 header = {
-                    "router": type(engine.router).__name__,
+                    "router": router_name,
                     "network": engine.net.name,
                     "num_packets": len(engine.packets),
                     "congestion": problem.congestion,

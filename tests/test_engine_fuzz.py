@@ -121,6 +121,28 @@ def test_chaos_runs_are_deterministic(problem):
     assert run() == run()
 
 
+@given(fuzz_instance(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_vectorized_kernel_matches_reference_under_fuzz(problem, seed):
+    """The same adversarial instance pool also feeds the ref-vs-vec gate.
+
+    ChaosRouter itself uses FREE moves, which the vectorized kernel does
+    not support — so the differential check runs the supported frontier
+    family over the identical fuzzed instances instead.  Deep coverage
+    lives in test_engine_vec.py; this hook keeps the fuzz corpus shared.
+    """
+    from dataclasses import asdict
+
+    from repro.experiments import run_frontier_trial, run_frontier_vec_trial
+    from repro.sim import numpy_available
+
+    if not numpy_available():
+        pytest.skip("vectorized backend requires numpy")
+    ref = run_frontier_trial(problem, seed)
+    vec = run_frontier_vec_trial(problem, seed)
+    assert asdict(ref.result) == asdict(vec.result)
+
+
 def test_chaos_slot_capacity_never_violated():
     """Direct slot audit: record every move and check per-slot uniqueness."""
     problem = select_paths_random(

@@ -52,10 +52,12 @@ SCHEMA_VERSION = 1
 
 
 def _engine_cases(smoke: bool):
-    """Pinned engine-stepping workloads: ``name -> (factory, max_steps)``.
+    """Pinned engine-stepping workloads: ``name -> (ref, vec, max_steps)``.
 
-    Each factory returns a fresh ``(problem, router, engine_kwargs)`` triple;
-    instances are fixed-seed so every run times the same work.
+    ``ref`` builds a fresh reference :class:`~repro.sim.Engine`; ``vec``
+    builds the same run on the vectorized kernel (same instance, same RNG
+    stream seeds, so the two runs must be byte-identical).  Instances are
+    fixed-seed so every run times the same work.
 
     * ``naive_deep_random`` / ``naive_hotrow`` are *dense*: every step moves
       tens of packets, and the router body is two attribute lookups, so
@@ -63,7 +65,7 @@ def _engine_cases(smoke: bool):
       (arbitration, deflection matching, move application).
     * ``frontier_sparse`` disables the quiescence fast-forward so thousands
       of near-empty oscillation steps execute; it measures the fixed
-      per-step overhead.
+      per-step overhead (which the kernel's bulk advance collapses).
     """
     from repro.baselines import NaivePathRouter
     from repro.core import AlgorithmParams, FrontierFrameRouter
@@ -73,8 +75,15 @@ def _engine_cases(smoke: bool):
         deep_random_spec,
     )
     from repro.scenarios import build_problem
+    from repro.sim import Engine, VecEngine
 
     cases = {}
+
+    def naive_case(problem):
+        return (
+            lambda: Engine(problem, NaivePathRouter(), seed=0),
+            lambda: VecEngine.naive(problem, seed=0),
+        )
 
     if smoke:
         deep = build_problem(
@@ -84,12 +93,12 @@ def _engine_cases(smoke: bool):
         deep = build_problem(
             deep_random_spec(64, 16, 60, seed=7, low_congestion=False)
         )
-    cases["naive_deep_random"] = (lambda: (deep, NaivePathRouter(), {}), 5000)
+    cases["naive_deep_random"] = (*naive_case(deep), 5000)
 
     hotrow = build_problem(
         butterfly_hotrow_spec(5 if smoke else 7, 24 if smoke else 96, seed=3)
     )
-    cases["naive_hotrow"] = (lambda: (hotrow, NaivePathRouter(), {}), 20000)
+    cases["naive_hotrow"] = (*naive_case(hotrow), 20000)
 
     bfly = build_problem(butterfly_random_spec(4, seed=1234))
     params = AlgorithmParams.practical(
@@ -97,28 +106,29 @@ def _engine_cases(smoke: bool):
         m=6, w_factor=6.0,
     )
     cases["frontier_sparse"] = (
-        lambda: (
+        lambda: Engine(
             bfly,
             FrontierFrameRouter(params, seed=1),
-            {"enable_fast_forward": False},
+            seed=0,
+            enable_fast_forward=False,
+        ),
+        lambda: VecEngine.frontier(
+            bfly, params, router_seed=1, seed=0, enable_fast_forward=False
         ),
         params.total_steps,
     )
     return cases
 
 
-def _one_run(factory, max_steps: int):
-    from repro.sim import Engine
-
-    problem, router, engine_kwargs = factory()
-    engine = Engine(problem, router, seed=0, **engine_kwargs)
+def _one_run(engine_factory, max_steps: int):
+    engine = engine_factory()  # construction stays outside the timer
     start = time.perf_counter()
     result = engine.run(max_steps)
     return result, time.perf_counter() - start
 
 
 def time_engine_case(
-    factory, max_steps: int, repeats: int, target_sec: float
+    engine_factory, max_steps: int, repeats: int, target_sec: float
 ) -> dict:
     """Best-of-``repeats`` throughput over batches of whole engine runs.
 
@@ -126,7 +136,8 @@ def time_engine_case(
     sample executes the run ``inner`` times (auto-calibrated to roughly
     ``target_sec`` of work) and reports aggregate steps/sec.
     """
-    result, elapsed = _one_run(factory, max_steps)  # warm-up + calibration
+    # warm-up + calibration
+    result, elapsed = _one_run(engine_factory, max_steps)
     inner = max(1, int(target_sec / max(elapsed, 1e-9)))
 
     best = None
@@ -134,7 +145,7 @@ def time_engine_case(
         steps = moves = 0
         start = time.perf_counter()
         for _ in range(inner):
-            result, _ = _one_run(factory, max_steps)
+            result, _ = _one_run(engine_factory, max_steps)
             steps += result.steps_executed
             moves += result.total_moves
         elapsed = time.perf_counter() - start
@@ -153,18 +164,45 @@ def time_engine_case(
     return best
 
 
-def run_engine_bench(smoke: bool, repeats: int) -> dict:
+def _ref_vec_identical(ref_factory, vec_factory, max_steps: int) -> bool:
+    """The ref-vs-vec equivalence gate: byte-equal RunResult payloads."""
+    from dataclasses import asdict
+
+    ref_result, _ = _one_run(ref_factory, max_steps)
+    vec_result, _ = _one_run(vec_factory, max_steps)
+    return asdict(ref_result) == asdict(vec_result)
+
+
+def run_engine_bench(smoke: bool, repeats: int):
+    from repro.sim import numpy_available
+
     target_sec = 0.1 if smoke else 0.5
     cases = {}
-    for name, (factory, max_steps) in _engine_cases(smoke).items():
+    vec_cases = {}
+    vec_ok = numpy_available()
+    for name, (ref, vec, max_steps) in _engine_cases(smoke).items():
         print(f"[engine] timing {name} ...", flush=True)
-        cases[name] = time_engine_case(factory, max_steps, repeats, target_sec)
+        cases[name] = time_engine_case(ref, max_steps, repeats, target_sec)
         print(
             f"[engine]   {cases[name]['steps_per_sec']:>10.1f} steps/sec "
             f"({cases[name]['steps_executed']} steps in "
             f"{cases[name]['elapsed_sec']}s)"
         )
-    return cases
+        if not vec_ok:
+            continue
+        print(f"[engine] timing {name} (vectorized) ...", flush=True)
+        timing = time_engine_case(vec, max_steps, repeats, target_sec)
+        timing["vectorized_speedup"] = round(
+            timing["steps_per_sec"] / cases[name]["steps_per_sec"], 3
+        )
+        timing["ref_vec_identical"] = _ref_vec_identical(ref, vec, max_steps)
+        vec_cases[name] = timing
+        print(
+            f"[engine]   {timing['steps_per_sec']:>10.1f} steps/sec "
+            f"({timing['vectorized_speedup']:.2f}x, "
+            f"identical={timing['ref_vec_identical']})"
+        )
+    return cases, vec_cases if vec_ok else None
 
 
 # ---------------------------------------------------------------- trial cases
@@ -250,11 +288,18 @@ def _records_blob(records) -> bytes:
 
 
 def environment_info() -> dict:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "numpy": numpy_version,
     }
 
 
@@ -288,7 +333,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (1 if args.smoke else 3)
-    engine_cases = run_engine_bench(args.smoke, repeats)
+    engine_cases, vec_cases = run_engine_bench(args.smoke, repeats)
 
     if args.capture_baseline:
         prior = (
@@ -304,6 +349,11 @@ def main(argv=None) -> int:
         }
         if "trials" in prior:  # keep the trial speedup floor across recaptures
             payload["trials"] = prior["trials"]
+        # Keep the vectorized-speedup floors across recaptures too: they are
+        # deliberate hand-set minima (see docs/performance.md), not a record
+        # of whatever this machine measured today.
+        if "vectorized" in prior:
+            payload["vectorized"] = prior["vectorized"]
         write_json(BASELINE_PATH, payload)
         return 0
 
@@ -316,6 +366,7 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "environment": environment_info(),
         "cases": engine_cases,
+        "vectorized": vec_cases,
         "baseline": baseline["cases"] if baseline else None,
     }
     if baseline:
@@ -330,6 +381,40 @@ def main(argv=None) -> int:
         for name, ratio in speedups.items():
             print(f"[engine] {name}: {ratio:.2f}x vs baseline")
     print(f"wrote {write_bench_json('engine', engine_report)}")
+
+    if vec_cases is not None:
+        # The equivalence gate is unconditional (smoke included): a vectorized
+        # run that diverges from the reference engine is a correctness bug,
+        # not a perf regression.
+        broken = [
+            name for name, case in vec_cases.items()
+            if not case["ref_vec_identical"]
+        ]
+        if broken:
+            print(
+                "ERROR: vectorized engine diverged from the reference engine "
+                f"on: {', '.join(broken)}",
+                file=sys.stderr,
+            )
+            return 1
+        floors = (baseline or {}).get("vectorized", {}).get("speedup_floor", {})
+        if floors and not args.smoke:
+            for name, floor in floors.items():
+                case = vec_cases.get(name)
+                if case is None:
+                    continue
+                measured = case["vectorized_speedup"]
+                print(
+                    f"[engine] {name}: vectorized floor {floor:.2f}x "
+                    f"(measured {measured:.2f}x)"
+                )
+                if measured < floor:
+                    print(
+                        f"ERROR: vectorized_speedup {measured:.2f}x on {name} "
+                        f"fell below the recorded floor {floor:.2f}x",
+                        file=sys.stderr,
+                    )
+                    return 1
 
     if not args.engine_only:
         trials_report = {

@@ -16,6 +16,8 @@ the spec-native commands expose the catalog directly:
 * ``spec``    — print (or write) a catalog spec as JSON;
 * ``run``     — run a spec from a JSON file, optionally result-cached,
   with ``--trace``/``--telemetry`` observability;
+* ``serve``   — open-loop streaming service: a spec with an ``arrival``
+  process in, windowed live metrics (JSONL or SSE) out;
 * ``report``  — render a run summary from a spec, cached result, result
   file, or JSONL trace — without re-running anything.
 """
@@ -527,9 +529,12 @@ def cmd_list(args: argparse.Namespace) -> int:
             f"  {name:24s} {spec.topology} / {workload} / {spec.selector} "
             f"-> {spec.backend}"
         )
+    from .scenarios import ARRIVALS
+
     for title, registry in (
         ("topologies", TOPOLOGIES),
         ("workloads", WORKLOADS),
+        ("arrival processes", ARRIVALS),
         ("path selectors", PATH_SELECTORS),
         ("backends", BACKENDS),
     ):
@@ -587,6 +592,100 @@ def cmd_run(args: argparse.Namespace) -> int:
     if record.audit is not None:
         print(f"audit: {record.audit.summary()}")
     return 0 if record.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import CapacityError
+    from .scenarios import ARRIVALS
+    from .telemetry import WindowedMetrics
+    from .traffic import make_stream_router, run_stream
+
+    if args.spec == "-":
+        spec = RunSpec.from_json(sys.stdin.read())
+    else:
+        spec = load_spec(args.spec)
+    if not spec.arrival:
+        print(
+            "error: serve requires a spec with an 'arrival' process "
+            "(e.g. \"arrival\": \"bernoulli\")",
+            file=sys.stderr,
+        )
+        return 2
+    net = build_network(spec)
+    source_fn = ARRIVALS.get(spec.arrival)
+    aparams = dict(spec.arrival_params)
+    # serve is the open-loop service: no explicit horizon means unbounded
+    aparams.setdefault("horizon", None)
+    aparams["seed"] = spec.arrival_seed()
+    source = source_fn(net, **aparams)
+    router = make_stream_router(args.router, seed=spec.seed + 2)
+    max_in_flight = (
+        args.max_in_flight if args.max_in_flight is not None else net.num_edges
+    )
+
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+
+    def emit(record: dict) -> None:
+        text = json.dumps(record, sort_keys=True)
+        if args.sse:
+            out.write(f"data: {text}\n\n")
+        else:
+            out.write(text + "\n")
+        out.flush()
+
+    emit(
+        {
+            "kind": "serve_header",
+            "spec_hash": spec.content_hash(),
+            "topology": net.name,
+            "arrival": spec.arrival,
+            "router": args.router,
+            "window": args.window,
+            "max_steps": args.steps,
+            "max_in_flight": max_in_flight,
+        }
+    )
+    metrics = WindowedMetrics(window=args.window, sink=emit)
+    error = None
+    try:
+        summary = run_stream(
+            net,
+            source,
+            router,
+            max_steps=args.steps,
+            metrics=metrics,
+            path_seed=spec.selector_seed(),
+            engine_seed=spec.seed + 3,
+            max_in_flight=max_in_flight,
+        )
+    except CapacityError as exc:
+        error = str(exc)
+        summary = None
+    except BrokenPipeError:
+        # The consumer went away (e.g. piped into head); a clean shutdown.
+        return 0
+    footer = {"kind": "serve_summary"}
+    if summary is not None:
+        footer.update(
+            {
+                "steps": summary.steps,
+                "arrivals": summary.arrivals,
+                "admitted": summary.admitted,
+                "delivered": summary.delivered,
+                "dropped": summary.dropped,
+                "peak_in_flight": summary.peak_in_flight,
+                "packet_slots": summary.packet_slots,
+                "windows": metrics.windows_emitted,
+            }
+        )
+    else:
+        footer["error"] = error
+    emit(footer)
+    if out is not sys.stdout:
+        out.close()
+    return 0 if error is None else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -748,6 +847,44 @@ def make_parser() -> argparse.ArgumentParser:
         "(.jsonl or .jsonl.gz; implies --telemetry)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="open-loop streaming service: RunSpec JSON in, live metrics out",
+    )
+    p_serve.add_argument(
+        "--spec",
+        required=True,
+        help="path to a spec JSON with an 'arrival' process, or '-' for stdin",
+    )
+    p_serve.add_argument(
+        "--steps", type=int, default=1000, help="step budget (default 1000)"
+    )
+    p_serve.add_argument(
+        "--window",
+        type=int,
+        default=50,
+        help="metrics window size in steps (default 50)",
+    )
+    p_serve.add_argument(
+        "--router", default="greedy", help="stream router: naive | greedy"
+    )
+    p_serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="admission cap; excess arrivals are dropped "
+        "(default: the network's edge count)",
+    )
+    p_serve.add_argument(
+        "--sse",
+        action="store_true",
+        help="emit Server-Sent-Events frames (data: {...}) instead of JSONL",
+    )
+    p_serve.add_argument(
+        "--out", default=None, help="write the stream to this file, not stdout"
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_report = sub.add_parser(
         "report",

@@ -1,32 +1,34 @@
 """Stochastic arrival processes for dynamic routing experiments.
 
-The paper studies *static* (batch) problems; the deflection-routing
-literature it cites (Broder & Upfal, "Dynamic deflection routing on
-arrays", STOC'96 — reference [9]) studies packets arriving continuously.
-This module generates such traffic for the leveled setting: per-step
-Bernoulli/Poisson arrivals at injection-capable nodes, each packet drawn
-with a random forward destination and a monotone path.
+Thin adapter over :mod:`repro.traffic` kept for backwards compatibility:
+the injection sources themselves now live in
+:mod:`repro.traffic.sources` (Bernoulli, Poisson, trace-driven, batch),
+and materialization in :mod:`repro.traffic.materialize`.  These wrappers
+preserve the original call signatures and are draw-for-draw identical to
+the pre-refactor generators.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import WorkloadError
 from ..net import LeveledNetwork
-from ..paths import PacketSpec, RoutingProblem, random_monotone_path
-from ..rng import RngLike, make_rng
-from ..types import NodeId
+from ..paths import RoutingProblem
+from ..rng import RngLike
+from ..traffic import (
+    Arrival,
+    BernoulliSource,
+    collect_arrivals,
+    offered_load,
+    problem_from_arrivals,
+)
 
-
-@dataclass(frozen=True)
-class Arrival:
-    """One dynamically arriving packet."""
-
-    time: int
-    source: NodeId
-    destination: NodeId
+__all__ = [
+    "Arrival",
+    "bernoulli_arrivals",
+    "arrivals_to_problem",
+    "offered_load",
+]
 
 
 def bernoulli_arrivals(
@@ -39,46 +41,18 @@ def bernoulli_arrivals(
 ) -> List[Arrival]:
     """Per-step, per-source Bernoulli(`rate`) arrivals over ``horizon`` steps.
 
-    ``rate`` is the injection probability per eligible source per step;
-    aggregate offered load is ``rate · |sources|`` packets/step.  Each
-    arrival's destination is uniform over forward-reachable nodes at least
-    ``min_hops`` ahead.
+    Equivalent to materializing a :class:`~repro.traffic.BernoulliSource`
+    over its horizon (same seed, same draw sequence).
     """
-    if not 0.0 <= rate <= 1.0:
-        raise WorkloadError(f"rate must be a probability, got {rate}")
-    if horizon < 1:
-        raise WorkloadError(f"horizon must be >= 1, got {horizon}")
-    rng = make_rng(seed)
-    levels = (
-        range(net.depth)
-        if source_levels is None
-        else [l for l in source_levels if 0 <= l < net.depth]
+    source = BernoulliSource(
+        net,
+        rate,
+        seed=seed,
+        horizon=int(horizon),
+        source_levels=source_levels,
+        min_hops=min_hops,
     )
-    sources: List[NodeId] = []
-    reach_cache = {}
-    for level in levels:
-        for v in net.nodes_at_level(level):
-            if net.out_degree(v) == 0:
-                continue
-            options = [
-                u
-                for u in sorted(net.forward_reachable(v))
-                if net.level(u) >= net.level(v) + min_hops
-            ]
-            if options:
-                sources.append(v)
-                reach_cache[v] = options
-    if not sources:
-        raise WorkloadError("no injection-capable sources")
-    arrivals: List[Arrival] = []
-    for t in range(horizon):
-        coins = rng.random(len(sources))
-        for idx, v in enumerate(sources):
-            if coins[idx] < rate:
-                options = reach_cache[v]
-                dest = options[int(rng.integers(0, len(options)))]
-                arrivals.append(Arrival(time=t, source=v, destination=dest))
-    return arrivals
+    return collect_arrivals(source)
 
 
 def arrivals_to_problem(
@@ -89,32 +63,8 @@ def arrivals_to_problem(
     """Materialize arrivals as a multi-source routing problem.
 
     Returns ``(problem, arrival_times)`` with packet ``k`` scheduled to
-    become injectable at ``arrival_times[k]``.  Paths are random monotone
-    paths drawn per packet.
+    become injectable at ``arrival_times[k]``; the problem also carries the
+    times as ``problem.arrival_schedule``, which both engines honor
+    natively (see :func:`repro.traffic.problem_from_arrivals`).
     """
-    rng = make_rng(seed)
-    specs = []
-    times = []
-    for k, arrival in enumerate(arrivals):
-        path = random_monotone_path(net, arrival.source, arrival.destination, rng)
-        specs.append(PacketSpec(k, arrival.source, arrival.destination, path))
-        times.append(arrival.time)
-    problem = RoutingProblem(net, specs, allow_multi_source=True)
-    return problem, times
-
-
-def offered_load(
-    net: LeveledNetwork, arrivals: Sequence[Arrival], horizon: int
-) -> float:
-    """Average offered load in packet-hops per step per unit bandwidth.
-
-    The natural utilization measure: total requested hops divided by
-    ``horizon · (forward edges)``; saturation is expected as this
-    approaches the bottleneck utilization 1.
-    """
-    if horizon < 1:
-        raise WorkloadError(f"horizon must be >= 1, got {horizon}")
-    hops = sum(
-        net.level(a.destination) - net.level(a.source) for a in arrivals
-    )
-    return hops / (horizon * max(1, net.num_edges))
+    return problem_from_arrivals(net, arrivals, seed=seed)

@@ -1,75 +1,62 @@
 """Dynamic-traffic router wrappers.
 
-The engine's eligibility mechanism already supports timed injection; these
-routers mark packets eligible at their arrival times instead of all at
-once.  Deflection policies are inherited from the static baselines.
+Arrival release now lives in the engines themselves (both the reference
+:class:`~repro.sim.Engine` and the vectorized kernel gate injection
+eligibility on an :class:`~repro.traffic.ArrivalSchedule`), so these
+routers are thin adapters: they carry the schedule, install it at attach
+time, and otherwise behave exactly like their static baselines.  Runs are
+byte-identical to the old mixin-based release (same eligible set at every
+step, same RNG draw sequence).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import warnings
+from typing import Sequence
 
 from ..baselines import GreedyHotPotatoRouter, NaivePathRouter
-from ..errors import WorkloadError
 from ..rng import RngLike
 from ..sim import Engine
-from ..types import PacketId
+from ..traffic import ArrivalSchedule
 
 
-class _ArrivalSchedule:
-    """Mixin: mark packets eligible when their arrival time comes."""
-
-    def _init_schedule(self, arrival_times: Sequence[int]) -> None:
-        if any(t < 0 for t in arrival_times):
-            raise WorkloadError("arrival times must be non-negative")
-        self._by_time: Dict[int, List[PacketId]] = {}
-        for pid, t in enumerate(arrival_times):
-            self._by_time.setdefault(int(t), []).append(pid)
-        self.arrival_times = list(arrival_times)
-
-    def _attach_schedule(self, engine: Engine) -> None:
-        if len(self.arrival_times) != len(engine.packets):
-            raise WorkloadError(
-                f"{len(self.arrival_times)} arrival times for "
-                f"{len(engine.packets)} packets"
-            )
-
-    def _release(self, engine: Engine, t: int) -> None:
-        for pid in self._by_time.get(t, ()):
-            engine.mark_eligible(pid)
-
-
-class DynamicNaiveRouter(_ArrivalSchedule, NaivePathRouter):
+class DynamicNaiveRouter(NaivePathRouter):
     """Path-following deflection routing with timed arrivals."""
 
     def __init__(self, arrival_times: Sequence[int]) -> None:
-        self._init_schedule(arrival_times)
+        self.schedule = ArrivalSchedule(arrival_times)
+        self.arrival_times = list(self.schedule.times)
 
     def attach(self, engine: Engine) -> None:
-        Router_attach(self, engine)
-        self._attach_schedule(engine)
-
-    def pre_step(self, t: int) -> None:
-        self._release(self.engine, t)
+        engine.set_arrival_schedule(self.schedule)
+        NaivePathRouter.attach(self, engine)
 
 
-class DynamicGreedyRouter(_ArrivalSchedule, GreedyHotPotatoRouter):
+class DynamicGreedyRouter(GreedyHotPotatoRouter):
     """Distance-greedy deflection routing with timed arrivals."""
 
     def __init__(self, arrival_times: Sequence[int], seed: RngLike = None) -> None:
         GreedyHotPotatoRouter.__init__(self, seed=seed)
-        self._init_schedule(arrival_times)
+        self.schedule = ArrivalSchedule(arrival_times)
+        self.arrival_times = list(self.schedule.times)
 
     def attach(self, engine: Engine) -> None:
-        Router_attach(self, engine)
-        self._attach_schedule(engine)
-
-    def pre_step(self, t: int) -> None:
-        self._release(self.engine, t)
+        engine.set_arrival_schedule(self.schedule)
+        GreedyHotPotatoRouter.attach(self, engine)
 
 
-def Router_attach(router, engine: Engine) -> None:
+def router_attach(router, engine: Engine) -> None:
     """Attach without the static baselines' mark-all-eligible behavior."""
     from ..sim import Router
 
     Router.attach(router, engine)
+
+
+def Router_attach(router, engine: Engine) -> None:  # noqa: N802
+    """Deprecated alias of :func:`router_attach`."""
+    warnings.warn(
+        "Router_attach is deprecated; use router_attach instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    router_attach(router, engine)

@@ -77,6 +77,9 @@ class RoutingProblem:
                         "paper's model injects at most one packet per node"
                     )
                 seen.add(spec.source)
+        #: optional per-packet injection times (repro.traffic.ArrivalSchedule);
+        #: engines gate eligibility on it when present
+        self.arrival_schedule = None
 
     # ------------------------------------------------------------- accessors
 

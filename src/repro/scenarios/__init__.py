@@ -8,15 +8,17 @@ through one pipeline::
              --workload/selector-->  RoutingProblem
              --backend-->  RunResult
 
-Components are resolved by name through four plugin registries
-(:data:`TOPOLOGIES`, :data:`WORKLOADS`, :data:`PATH_SELECTORS`,
-:data:`BACKENDS`); a :class:`RunSpec` is frozen, JSON-round-trippable data
+Components are resolved by name through five plugin registries
+(:data:`TOPOLOGIES`, :data:`WORKLOADS`, :data:`ARRIVALS`,
+:data:`PATH_SELECTORS`, :data:`BACKENDS`); a :class:`RunSpec` is frozen,
+JSON-round-trippable data
 with a stable content hash, so scenarios can be cataloged, shipped as
 files, fanned across process pools, and memoized on disk
 (:class:`ResultCache`).  See docs/architecture.md for the full picture.
 """
 
 from .registry import (
+    ARRIVALS,
     BACKENDS,
     PATH_SELECTORS,
     TOPOLOGIES,
@@ -41,6 +43,7 @@ __all__ = [
     "UnknownNameError",
     "TOPOLOGIES",
     "WORKLOADS",
+    "ARRIVALS",
     "PATH_SELECTORS",
     "BACKENDS",
     "RunSpec",

@@ -60,7 +60,7 @@ from ..workloads import (
     single_destination,
 )
 from ..workloads.generators import end_to_end_permutation
-from .registry import BACKENDS, PATH_SELECTORS, TOPOLOGIES, WORKLOADS
+from .registry import ARRIVALS, BACKENDS, PATH_SELECTORS, TOPOLOGIES, WORKLOADS
 
 # --------------------------------------------------------------- topologies
 
@@ -276,6 +276,70 @@ def _workload_funnel(net, *, seed=None, num_packets: int, edge=None):
     """Adversarial: every path crosses one chosen edge (returns a problem)."""
     return funnel_through_edge(
         net, int(num_packets), edge=edge, seed=seed
+    )
+
+
+# --------------------------------------------------------- arrival processes
+#
+# Arrival entries: ``fn(net, *, seed, **params) -> InjectionSource``.  The
+# dispatcher collects the source over its horizon and materializes a
+# schedule-carrying problem (selector 'random' draws the paths), so these
+# run on any problem-level backend.
+
+
+@ARRIVALS.register("bernoulli")
+def _arrival_bernoulli(
+    net,
+    *,
+    seed=None,
+    rate: float = 0.3,
+    horizon: Optional[int] = 200,
+    source_levels: Optional[Sequence[int]] = None,
+    min_hops: int = 1,
+):
+    """Per-step, per-source Bernoulli(rate) arrivals (horizon None = open-loop)."""
+    from ..traffic import BernoulliSource
+
+    return BernoulliSource(
+        net,
+        float(rate),
+        seed=seed,
+        horizon=None if horizon is None else int(horizon),
+        source_levels=source_levels,
+        min_hops=int(min_hops),
+    )
+
+
+@ARRIVALS.register("poisson")
+def _arrival_poisson(
+    net,
+    *,
+    seed=None,
+    mean_rate: float = 1.0,
+    horizon: Optional[int] = 200,
+    source_levels: Optional[Sequence[int]] = None,
+    min_hops: int = 1,
+):
+    """Poisson(mean_rate) aggregate arrivals per step, placed uniformly."""
+    from ..traffic import PoissonSource
+
+    return PoissonSource(
+        net,
+        float(mean_rate),
+        seed=seed,
+        horizon=None if horizon is None else int(horizon),
+        source_levels=source_levels,
+        min_hops=int(min_hops),
+    )
+
+
+@ARRIVALS.register("trace")
+def _arrival_trace(net, *, seed=None, arrivals: Sequence[Sequence[int]] = ()):
+    """Replay recorded ``[time, source, destination]`` triples."""
+    from ..traffic import Arrival, TraceSource
+
+    return TraceSource(
+        Arrival(int(t), int(src), int(dst)) for t, src, dst in arrivals
     )
 
 

@@ -22,7 +22,7 @@ from ..sim import RunResult
 from ..telemetry.context import current_session
 from ..telemetry.timing import span
 from ..workloads import Workload
-from .registry import BACKENDS, PATH_SELECTORS, TOPOLOGIES, WORKLOADS
+from .registry import ARRIVALS, BACKENDS, PATH_SELECTORS, TOPOLOGIES, WORKLOADS
 from .spec import RunSpec
 
 
@@ -64,6 +64,8 @@ def build_problem(
     """Materialize topology + workload + paths into a routing problem."""
     if net is None:
         net = build_network(spec)
+    if spec.arrival:
+        return _build_arrival_problem(spec, net)
     if not spec.workload:
         raise ReproError(
             f"spec {spec.name or spec.content_hash()!r} has no workload; "
@@ -94,6 +96,42 @@ def build_problem(
     sparams["seed"] = spec.selector_seed()
     with span("path_selection"):
         return selector(net, built.endpoints, **sparams)
+
+
+def _build_arrival_problem(
+    spec: RunSpec, net: LeveledNetwork
+) -> RoutingProblem:
+    """Materialize an arrival process into a schedule-carrying problem.
+
+    The source is collected over its horizon and each packet gets a random
+    monotone path drawn from the selector seed, so the problem — arrival
+    times included — is a pure function of the scenario fields and runs on
+    any problem-level backend (reference, frontier_vec, baselines).
+    """
+    from ..errors import WorkloadError
+    from ..traffic import collect_arrivals, problem_from_arrivals
+
+    if spec.selector != "random":
+        raise ReproError(
+            f"arrival process {spec.arrival!r} draws random monotone paths; "
+            f"use selector 'random' (got {spec.selector!r})"
+        )
+    source_fn = ARRIVALS.get(spec.arrival)
+    aparams = dict(spec.arrival_params)
+    aparams["seed"] = spec.arrival_seed()
+    with span("build_workload"):
+        source = source_fn(net, **aparams)
+        arrivals = collect_arrivals(source)
+    if not arrivals:
+        raise WorkloadError(
+            f"arrival process {spec.arrival!r} generated no arrivals on "
+            f"{net.name} (rate too low?)"
+        )
+    with span("path_selection"):
+        problem, _ = problem_from_arrivals(
+            net, arrivals, seed=spec.selector_seed()
+        )
+    return problem
 
 
 def _network_backend_names() -> str:

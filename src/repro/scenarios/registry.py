@@ -103,13 +103,14 @@ class Registry:
         return out
 
 
-#: The four component registries of the scenario layer.  Populated by
+#: The five component registries of the scenario layer.  Populated by
 #: :mod:`repro.scenarios.components` at import time; external code may add
 #: its own entries before building specs.
 TOPOLOGIES = Registry("topology")
 WORKLOADS = Registry("workload")
 PATH_SELECTORS = Registry("path selector")
 BACKENDS = Registry("backend")
+ARRIVALS = Registry("arrival process")
 
 
 def closest_name(

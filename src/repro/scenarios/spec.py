@@ -46,6 +46,7 @@ SPEC_FORMAT = 1
 TOPOLOGY_SEED_TAG = 11
 WORKLOAD_SEED_TAG = 12
 SELECTOR_SEED_TAG = 13
+ARRIVAL_SEED_TAG = 14
 
 
 def _plain(value: Any) -> Any:
@@ -71,7 +72,12 @@ class RunSpec:
 
     ``topology`` and ``backend`` are required registry names; ``workload``
     may be empty for backends that generate their own traffic (the dynamic
-    family), and ``selector`` defaults to random monotone paths.
+    family), and ``selector`` defaults to random monotone paths.  As an
+    alternative to ``workload``, ``arrival`` names an injection process
+    (``bernoulli``, ``poisson``, ``trace``): the process is materialized
+    over its horizon into a schedule-carrying problem, so streaming
+    scenarios hash, cache, and dispatch like batch ones and run on any
+    problem-level backend.
     """
 
     topology: str
@@ -84,12 +90,21 @@ class RunSpec:
     backend_params: Dict[str, Any] = field(default_factory=dict)
     seed: int = 0
     name: str = ""
+    # Appended after ``name`` so positional construction order is unchanged.
+    arrival: str = ""
+    arrival_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.topology:
             raise ReproError("RunSpec requires a topology name")
         if not self.backend:
             raise ReproError("RunSpec requires a backend name")
+        if self.arrival and self.workload:
+            raise ReproError(
+                "RunSpec takes a workload or an arrival process, not both"
+            )
+        if self.arrival_params and not self.arrival:
+            raise ReproError("arrival_params given without an arrival process")
         # Canonicalize params so equality and hashing are representation-
         # independent (tuples vs lists, numpy ints vs ints).
         for fname in (
@@ -97,6 +112,7 @@ class RunSpec:
             "workload_params",
             "selector_params",
             "backend_params",
+            "arrival_params",
         ):
             object.__setattr__(self, fname, _plain(getattr(self, fname)))
         object.__setattr__(self, "seed", int(self.seed))
@@ -123,12 +139,18 @@ class RunSpec:
         :meth:`scenario_hash`, so sweeps over them hit the warm scenario
         cache after the first build.
         """
-        return dataclasses.replace(
+        pinned = dataclasses.replace(
             self,
             topology_params={**self.topology_params, "seed": self.topology_seed()},
             workload_params={**self.workload_params, "seed": self.workload_seed()},
             selector_params={**self.selector_params, "seed": self.selector_seed()},
         )
+        if self.arrival:
+            pinned = dataclasses.replace(
+                pinned,
+                arrival_params={**self.arrival_params, "seed": self.arrival_seed()},
+            )
+        return pinned
 
     # -------------------------------------------------------- derived seeds
 
@@ -159,11 +181,20 @@ class RunSpec:
             else stable_hash_seed(self.seed, SELECTOR_SEED_TAG)
         )
 
+    def arrival_seed(self) -> int:
+        """Seed for the arrival process (explicit param wins)."""
+        explicit = self.arrival_params.get("seed")
+        return (
+            int(explicit)
+            if explicit is not None
+            else stable_hash_seed(self.seed, ARRIVAL_SEED_TAG)
+        )
+
     # -------------------------------------------------------- serialization
 
     def to_dict(self) -> dict:
         """Plain-dict form (canonical field order, JSON-safe values)."""
-        return {
+        record = {
             "kind": SPEC_KIND,
             "format": SPEC_FORMAT,
             "name": self.name,
@@ -177,6 +208,12 @@ class RunSpec:
             "backend_params": _plain(self.backend_params),
             "seed": self.seed,
         }
+        # Emitted (and hashed) only when set, so every pre-existing spec
+        # keeps its serialized form and content hash.
+        if self.arrival:
+            record["arrival"] = self.arrival
+            record["arrival_params"] = _plain(self.arrival_params)
+        return record
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
@@ -201,6 +238,8 @@ class RunSpec:
             "backend",
             "backend_params",
             "seed",
+            "arrival",
+            "arrival_params",
         }
         unknown = set(data) - known
         if unknown:
@@ -221,6 +260,8 @@ class RunSpec:
             backend_params=dict(data.get("backend_params", {})),
             seed=int(data.get("seed", 0)),
             name=data.get("name", ""),
+            arrival=data.get("arrival", ""),
+            arrival_params=dict(data.get("arrival_params", {})),
         )
 
     def to_json(self, indent: Optional[int] = 1) -> str:
@@ -285,6 +326,11 @@ class RunSpec:
                 {**self.selector_params, "seed": self.selector_seed()}
             ),
         }
+        if self.arrival:
+            record["arrival"] = self.arrival
+            record["arrival_params"] = _plain(
+                {**self.arrival_params, "seed": self.arrival_seed()}
+            )
         return json.dumps(
             record, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
@@ -302,7 +348,7 @@ class RunSpec:
     def describe(self) -> str:
         """One-line human summary."""
         label = self.name or "spec"
-        wl = self.workload or "-"
+        wl = self.workload or (f"~{self.arrival}" if self.arrival else "-")
         return (
             f"{label}: {self.topology} / {wl} / {self.selector} "
             f"-> {self.backend} (seed {self.seed}, {self.content_hash()})"

@@ -45,7 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CapacityError, SimulationError
 from ..net import LeveledNetwork
-from ..paths import RoutingProblem
+from ..paths import PacketSpec, RoutingProblem
 from ..rng import RngLike, make_rng
 from ..telemetry.context import current_session
 from ..types import Direction, EdgeId, MoveKind, NodeId, PacketId
@@ -94,6 +94,12 @@ class Engine:
         self.active_ids: Dict[PacketId, None] = {}
         #: pending packets currently allowed to attempt injection
         self.eligible: Set[PacketId] = set()
+        #: arrival schedule gating eligibility (None = ungated)
+        self._arrivals = None
+        #: router-approved pending packets whose arrival time has not come
+        self._held: Set[PacketId] = set()
+        #: retired packet slots available for mid-run admission reuse
+        self._free_pids: List[PacketId] = []
         #: in-edges traversed forward by a path-following move last step,
         #: keyed by the node they arrived at (Lemma 2.1's ``E'`` per node)
         self.safe_in: Dict[NodeId, Set[EdgeId]] = {}
@@ -131,6 +137,13 @@ class Engine:
         self._losers_by_node: Dict[NodeId, List[PacketId]] = {}
         self._deflected: List[Tuple[PacketId, EdgeId, bool]] = []
 
+        # Problems may carry an arrival schedule (dynamic workloads built by
+        # repro.traffic.problem_from_arrivals); install it before the router
+        # attaches so its eligibility marks are gated from the start.
+        schedule = getattr(problem, "arrival_schedule", None)
+        if schedule is not None:
+            self.set_arrival_schedule(schedule)
+
         router.attach(self)
 
         # Scoped observability: engines built under an active telemetry
@@ -157,17 +170,85 @@ class Engine:
 
     # ------------------------------------------------------------- injection
 
+    def set_arrival_schedule(self, schedule) -> None:
+        """Gate injection eligibility on an :class:`ArrivalSchedule`.
+
+        Router eligibility marks for packets whose arrival time has not come
+        are *held* and released at the top of the step they become due, so a
+        packet becomes eligible at ``max(mark time, arrival time)``.  Called
+        automatically for problems carrying ``arrival_schedule``; routers
+        (the dynamic adapters) may also call it from ``attach``.
+        """
+        schedule.validate_for(len(self.packets))
+        self._arrivals = schedule
+        # Re-gate marks made before the schedule was installed.
+        if self.eligible:
+            t = self.t
+            late = [p for p in self.eligible if schedule.time_of(p) > t]
+            for pid in late:
+                self.eligible.discard(pid)
+                self._held.add(pid)
+        if self._held:
+            t = self.t
+            due = [p for p in self._held if schedule.time_of(p) <= t]
+            for pid in due:
+                self._held.discard(pid)
+                if self.packets[pid].is_pending:
+                    self.eligible.add(pid)
+
     def mark_eligible(self, packet_id: PacketId) -> None:
-        """Allow a pending packet to attempt injection from this step on."""
+        """Allow a pending packet to attempt injection from this step on.
+
+        With an arrival schedule installed, marks for packets that have not
+        arrived yet are held until their arrival step.
+        """
         packet = self.packets[packet_id]
         if packet.is_pending:
-            self.eligible.add(packet_id)
+            schedule = self._arrivals
+            if schedule is not None and schedule.time_of(packet_id) > self.t:
+                self._held.add(packet_id)
+            else:
+                self.eligible.add(packet_id)
 
     def mark_all_eligible(self) -> None:
         """Convenience for routers that inject everything immediately."""
+        if self._arrivals is not None:
+            for packet in self.packets:
+                if packet.is_pending:
+                    self.mark_eligible(packet.packet_id)
+            return
         for packet in self.packets:
             if packet.is_pending:
                 self.eligible.add(packet.packet_id)
+
+    # ------------------------------------------------------------- streaming
+
+    def admit(self, source: NodeId, destination: NodeId, path) -> PacketId:
+        """Admit a new packet mid-run; it is immediately eligible.
+
+        ``path`` is a :class:`~repro.paths.Path` from source to destination.
+        The open-loop streaming driver (:mod:`repro.traffic.stream`) calls
+        this as arrivals come in, pairing it with :meth:`retire` so memory
+        stays bounded by the number of packets in flight, not the total
+        injected.
+        """
+        if self._free_pids:
+            pid = self._free_pids.pop()
+            self.packets[pid] = Packet(PacketSpec(pid, source, destination, path))
+        else:
+            pid = len(self.packets)
+            self.packets.append(Packet(PacketSpec(pid, source, destination, path)))
+        self.eligible.add(pid)
+        return pid
+
+    def retire(self, packet_id: PacketId) -> None:
+        """Release an absorbed packet's slot for reuse by :meth:`admit`."""
+        packet = self.packets[packet_id]
+        if packet.status is not PacketStatus.ABSORBED:
+            raise SimulationError(
+                f"cannot retire packet {packet_id}: not absorbed"
+            )
+        self._free_pids.append(packet_id)
 
     # ------------------------------------------------------------------ step
 
@@ -180,6 +261,17 @@ class Engine:
         tracing = bool(self._observers)
         edge_src = self._edge_src
         edge_dst = self._edge_dst
+
+        # -- arrival release ------------------------------------------------
+        # Held router marks whose arrival time is due become eligible now,
+        # before the router's pre_step hook (which may mark more packets).
+        if self._held:
+            held = self._held
+            for pid in self._arrivals.due_at(t):
+                if pid in held:
+                    held.discard(pid)
+                    if packets[pid].is_pending:
+                        self.eligible.add(pid)
 
         router.pre_step(t)
 
@@ -547,6 +639,15 @@ class Engine:
         horizon = self.router.quiescent_horizon(self.t)
         if horizon is None:
             return
+        if self._held:
+            # Defensive clamp for routers unaware of arrival gating: never
+            # skip past the next held packet's arrival step.  (The frontier
+            # router already returns None whenever a marked packet is held,
+            # since held marks imply a due injection phase.)
+            schedule = self._arrivals
+            next_due = min(schedule.time_of(pid) for pid in self._held)
+            if next_due < horizon:
+                horizon = next_due
         target = horizon - 1  # simulate the boundary step normally
         k = target - self.t
         if k <= 0:

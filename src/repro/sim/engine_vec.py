@@ -199,6 +199,23 @@ class VecEngine:
             # NaivePathRouter.attach marks everything eligible immediately.
             self._elig = np.arange(n, dtype=np.int64)
 
+        # Arrival gating (see Engine.set_arrival_schedule): marks for
+        # packets whose arrival time has not come are held and released at
+        # the top of their due step, mirroring the reference engine.
+        schedule = getattr(problem, "arrival_schedule", None)
+        self._sched = schedule
+        self._held: Set[int] = set()
+        if schedule is not None:
+            schedule.validate_for(n)
+            self._times = np.asarray(schedule.times, dtype=np.int64)
+            if self._elig.size:
+                due = self._times[self._elig] <= 0
+                if not due.all():
+                    self._held = set(self._elig[~due].tolist())
+                    self._elig = self._elig[due]
+        else:
+            self._times = None
+
         self._current_phase = -1
         self.excitations = 0
         self.wait_entries = 0
@@ -325,8 +342,14 @@ class VecEngine:
             while idx < len(keys) and keys[idx] <= phase:
                 # mark_eligible: all these are still pending by construction
                 newly = self._elig_by_phase[keys[idx]]
-                elig = self._elig
-                self._elig = np.union1d(elig, newly) if elig.size else newly
+                if self._times is not None:
+                    due = self._times[newly] <= t
+                    if not due.all():
+                        self._held.update(newly[~due].tolist())
+                        newly = newly[due]
+                if newly.size:
+                    elig = self._elig
+                    self._elig = np.union1d(elig, newly) if elig.size else newly
                 idx += 1
             self._next_phase_idx = idx
         if t % self._w == 0:
@@ -457,6 +480,15 @@ class VecEngine:
         soa = self.soa
         fr = self.fr
         tracing = bool(self._observers)
+
+        # -- arrival release (mirrors Engine.step's held-mark release) ------
+        if self._held:
+            rel = [pid for pid in self._sched.due_at(t) if pid in self._held]
+            if rel:
+                self._held.difference_update(rel)
+                newly = np.asarray(rel, dtype=np.int64)
+                elig = self._elig
+                self._elig = np.union1d(elig, newly) if elig.size else newly
 
         if fr is not None:
             self._pre_step(t, tracing)
@@ -1058,6 +1090,10 @@ class VecEngine:
         current key — no array scan needed.
         """
         if self._elig.size:
+            return None
+        if self._held:
+            # Held marks are due injections the phase cursor no longer
+            # tracks; the reference router returns None for them too.
             return None
         keys = self._phase_keys
         idx = self._next_phase_idx

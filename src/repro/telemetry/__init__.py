@@ -27,6 +27,7 @@ path is untouched.
 
 from .context import current_session
 from .counters import COUNTERS_SCHEMA, PHASE_FIELDS, Counters, aggregate_counters
+from .live import WINDOW_SCHEMA, WindowedMetrics
 from .report import ReportSource, render_report, resolve_source
 from .session import TelemetryConfig, TelemetrySession
 from .timing import ENGINE_STEP_SPAN, TimingSpans, span
@@ -54,6 +55,8 @@ __all__ = [
     "TelemetrySession",
     "TimingSpans",
     "TraceFile",
+    "WINDOW_SCHEMA",
+    "WindowedMetrics",
     "aggregate_counters",
     "current_session",
     "event_from_obj",

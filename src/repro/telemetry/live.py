@@ -1,0 +1,178 @@
+"""Windowed live metrics for open-loop streaming runs.
+
+Long-running service runs cannot accumulate per-packet state and report at
+the end — they may never end.  :class:`WindowedMetrics` is both an engine
+event observer and a stream-driver callback set: it folds events into a
+fixed-size rolling window (throughput, latency percentiles, occupancy,
+deflection and drop rates) and *flushes* each completed window to a sink
+as one JSON-serializable dict, keeping memory bounded by the number of
+packets in flight — the rotorsim ``Log`` cache idiom of buffering a small
+window and emitting incrementally instead of holding the run's history.
+
+The sink is any callable accepting a dict; the CLI wires it to JSONL
+(one object per line) or SSE (``data: {...}\\n\\n`` frames) on stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.events import EventKind, TraceEvent
+
+WINDOW_SCHEMA = (
+    "kind",
+    "window",
+    "t_start",
+    "t_end",
+    "steps",
+    "arrivals",
+    "injected",
+    "delivered",
+    "dropped",
+    "deflections",
+    "unsafe_deflections",
+    "in_flight",
+    "occupancy_mean",
+    "occupancy_max",
+    "throughput",
+    "latency_mean",
+    "latency_p50",
+    "latency_p95",
+    "latency_max",
+)
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (numpy 'linear')."""
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    pos = q * (n - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= n:
+        return sorted_values[-1]
+    return sorted_values[lo] + frac * (sorted_values[lo + 1] - sorted_values[lo])
+
+
+class WindowedMetrics:
+    """Rolling per-window stream statistics, flushed incrementally.
+
+    Use as an engine observer (``engine.add_observer(metrics.on_event)``)
+    plus driver callbacks: :meth:`note_arrival` when the driver admits a
+    packet, :meth:`note_drop` when it sheds one, :meth:`end_step` after
+    each engine step, and :meth:`close` to flush the final partial window.
+    Latency is measured arrival-to-absorption in steps.
+    """
+
+    def __init__(
+        self,
+        window: int = 50,
+        sink: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self.sink = sink
+        self.windows_emitted = 0
+        #: arrival step of each packet currently in flight (pid -> step);
+        #: entries are removed at absorption, so size tracks live packets
+        self._arrival_step: Dict[int, int] = {}
+        self._t_start = 0
+        self._steps = 0
+        self._in_flight = 0
+        self._reset_window()
+
+    def _reset_window(self) -> None:
+        self._arrivals = 0
+        self._injected = 0
+        self._delivered = 0
+        self._dropped = 0
+        self._deflections = 0
+        self._unsafe = 0
+        self._latencies: List[float] = []
+        self._occ_sum = 0
+        self._occ_max = 0
+        self._steps = 0
+
+    # ------------------------------------------------------- driver callbacks
+
+    def note_arrival(self, packet_id: int, t: int) -> None:
+        """Record a packet admitted to the engine at step ``t``."""
+        self._arrival_step[packet_id] = t
+        self._arrivals += 1
+
+    def note_drop(self, t: int) -> None:
+        """Record an arrival shed by the admission policy."""
+        self._dropped += 1
+
+    # --------------------------------------------------------- engine events
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Engine observer: fold one trace event into the current window."""
+        kind = event.kind
+        if kind is EventKind.INJECT:
+            self._injected += 1
+        elif kind is EventKind.ABSORB:
+            self._delivered += 1
+            arrived = self._arrival_step.pop(event.packet, None)
+            if arrived is not None:
+                # absorbed_at convention: delivery completes at time + 1
+                self._latencies.append(float(event.time + 1 - arrived))
+        elif kind is EventKind.DEFLECT:
+            self._deflections += 1
+        elif kind is EventKind.UNSAFE_DEFLECT:
+            self._deflections += 1
+            self._unsafe += 1
+
+    # ------------------------------------------------------------ step clock
+
+    def end_step(self, t: int, num_active: int) -> None:
+        """Advance the window clock after the engine executed step ``t``."""
+        self._steps += 1
+        self._in_flight = num_active
+        self._occ_sum += num_active
+        if num_active > self._occ_max:
+            self._occ_max = num_active
+        if (t + 1) % self.window == 0:
+            self._flush(t)
+
+    def close(self, t: int) -> None:
+        """Flush a trailing partial window, if any steps are buffered."""
+        if self._steps:
+            self._flush(t)
+
+    # ----------------------------------------------------------------- flush
+
+    def _flush(self, t: int) -> None:
+        steps = self._steps
+        lat = sorted(self._latencies)
+        record: Dict[str, object] = {
+            "kind": "metrics_window",
+            "window": self.windows_emitted,
+            "t_start": self._t_start,
+            "t_end": t + 1,
+            "steps": steps,
+            "arrivals": self._arrivals,
+            "injected": self._injected,
+            "delivered": self._delivered,
+            "dropped": self._dropped,
+            "deflections": self._deflections,
+            "unsafe_deflections": self._unsafe,
+            "in_flight": self._in_flight,
+            "occupancy_mean": self._occ_sum / steps if steps else 0.0,
+            "occupancy_max": self._occ_max,
+            "throughput": self._delivered / steps if steps else 0.0,
+            "latency_mean": (sum(lat) / len(lat)) if lat else None,
+            "latency_p50": _quantile(lat, 0.5) if lat else None,
+            "latency_p95": _quantile(lat, 0.95) if lat else None,
+            "latency_max": lat[-1] if lat else None,
+        }
+        self.windows_emitted += 1
+        self._t_start = t + 1
+        self._reset_window()
+        if self.sink is not None:
+            self.sink(record)
+
+
+__all__ = ["WindowedMetrics", "WINDOW_SCHEMA"]

@@ -1,0 +1,39 @@
+"""Traffic generation and streaming execution for dynamic workloads.
+
+The workload-generator / switch-model split: injection processes
+(:mod:`~repro.traffic.sources`) are independent of routers and engines,
+arrival *schedules* (:mod:`~repro.traffic.schedule`) are the materialized
+form both engines gate eligibility on, materialization
+(:mod:`~repro.traffic.materialize`) turns arrivals into cacheable routing
+problems, and the stream driver (:mod:`~repro.traffic.stream`) runs an
+open-loop source against an engine with bounded memory.
+"""
+
+from .materialize import offered_load, problem_from_arrivals
+from .schedule import ArrivalSchedule
+from .sources import (
+    Arrival,
+    BatchSource,
+    BernoulliSource,
+    InjectionSource,
+    PoissonSource,
+    TraceSource,
+    collect_arrivals,
+)
+from .stream import StreamSummary, make_stream_router, run_stream
+
+__all__ = [
+    "Arrival",
+    "ArrivalSchedule",
+    "BatchSource",
+    "BernoulliSource",
+    "InjectionSource",
+    "PoissonSource",
+    "TraceSource",
+    "StreamSummary",
+    "collect_arrivals",
+    "make_stream_router",
+    "offered_load",
+    "problem_from_arrivals",
+    "run_stream",
+]

@@ -23,6 +23,30 @@ def net():
     return butterfly(3)
 
 
+def _fixture_result(delivery_times, delivered):
+    """A minimal RunResult for hand-computed metric fixtures."""
+    from repro.sim import RunResult
+
+    n = len(delivery_times)
+    return RunResult(
+        router_name="fixture",
+        network_name="fixture",
+        num_packets=n,
+        congestion=1,
+        dilation=1,
+        depth=3,
+        delivered=delivered,
+        makespan=max((t for t in delivery_times if t is not None), default=0),
+        steps_executed=0,
+        steps_skipped=0,
+        delivery_times=list(delivery_times),
+        deflections_per_packet=[0] * n,
+        unsafe_deflections=0,
+        total_moves=0,
+        total_backward_moves=0,
+    )
+
+
 class TestArrivals:
     def test_rate_controls_volume(self, net):
         low = bernoulli_arrivals(net, 0.05, horizon=200, seed=1)
@@ -148,3 +172,74 @@ class TestDynamicStats:
         result = engine.run(3)  # cut off early
         stats = dynamic_stats(result, times)
         assert not stats.drained
+
+    def test_zero_delivered(self):
+        """All-NaN latencies, not a crash, when nothing got through."""
+        result = _fixture_result(delivery_times=[None, None], delivered=0)
+        stats = dynamic_stats(result, [0, 1], [2, 2])
+        assert stats.offered == 2
+        assert stats.delivered == 0
+        assert not stats.drained
+        assert math.isnan(stats.mean_latency)
+        assert math.isnan(stats.p50_latency)
+        assert math.isnan(stats.p95_latency)
+        assert math.isnan(stats.max_latency)
+        assert math.isnan(stats.mean_hop_stretch)
+        assert stats.as_row()[2] == "NO"
+
+    def test_single_step_run(self, net):
+        """A run cut off after one step is summarized, mostly undelivered."""
+        arrivals = bernoulli_arrivals(net, 0.3, horizon=20, seed=61)
+        problem, times = arrivals_to_problem(net, arrivals, seed=62)
+        engine = Engine(problem, DynamicNaiveRouter(times), seed=63)
+        result = engine.run(1)
+        stats = dynamic_stats(result, times, [len(s.path) for s in problem])
+        assert stats.offered == problem.num_packets
+        assert stats.delivered == result.delivered
+        assert not stats.drained
+
+    def test_percentiles_hand_computed(self):
+        """Latency percentiles against a hand-computed fixture.
+
+        Arrivals [0, 10, 0, 5], deliveries [4, 16, 9, 13] give latencies
+        [4, 6, 9, 8]; with numpy's linear interpolation the quantiles of
+        sorted [4, 6, 8, 9] are p50 = 7.0 and p95 = 8.85.
+        """
+        result = _fixture_result(delivery_times=[4, 16, 9, 13], delivered=4)
+        stats = dynamic_stats(result, [0, 10, 0, 5], [2, 3, 3, 4])
+        assert stats.drained
+        assert stats.mean_latency == pytest.approx(6.75)
+        assert stats.p50_latency == pytest.approx(7.0)
+        assert stats.p95_latency == pytest.approx(8.85)
+        assert stats.max_latency == 9.0
+        # stretches: 4/2, 6/3, 9/3, 8/4 -> mean of [2, 2, 3, 2] = 2.25
+        assert stats.mean_hop_stretch == pytest.approx(2.25)
+
+    def test_partial_delivery_skips_lost_packets(self):
+        result = _fixture_result(delivery_times=[3, None, 7], delivered=2)
+        stats = dynamic_stats(result, [0, 0, 2], [3, 3, 3])
+        assert stats.delivered == 2
+        assert stats.mean_latency == pytest.approx(4.0)  # [3, 5]
+        assert stats.max_latency == 5.0
+
+
+class TestOfferedLoad:
+    def test_zero_arrivals(self, net):
+        assert offered_load(net, [], 100) == 0.0
+
+    def test_counts_per_step_per_edge(self, net):
+        lo = net.nodes_at_level(0)[0]
+        hi = net.nodes_at_level(3)[0]
+        arrivals = [Arrival(t, lo, hi) for t in range(10)]
+        # 10 packets x 3 hops over 10 steps on num_edges forward edges
+        assert offered_load(net, arrivals, 10) == pytest.approx(
+            3.0 / net.num_edges
+        )
+        # Halving the horizon doubles the per-step load.
+        assert offered_load(net, arrivals, 5) == pytest.approx(
+            6.0 / net.num_edges
+        )
+
+    def test_horizon_validated(self, net):
+        with pytest.raises(WorkloadError):
+            offered_load(net, [], 0)

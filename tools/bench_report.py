@@ -120,6 +120,72 @@ def _engine_cases(smoke: bool):
     return cases
 
 
+def _streaming_run(smoke: bool):
+    """One open-loop steady-state streaming run (``repro serve``'s core).
+
+    A pinned Bernoulli source injects continuously while the greedy
+    hot-potato router routes and the driver recycles packet slots; the
+    measured steps/sec is the sustainable service rate of the streaming
+    path (admission + engine step + retirement + slot reuse), which none
+    of the batch cases exercise.
+    """
+    from repro.net import butterfly
+    from repro.traffic import BernoulliSource, make_stream_router, run_stream
+
+    net = butterfly(4)
+    max_steps = 600 if smoke else 4000
+
+    def one_run():
+        source = BernoulliSource(net, 0.2, seed=11, horizon=None)
+        router = make_stream_router("greedy", seed=12)
+        start = time.perf_counter()
+        summary = run_stream(
+            net,
+            source,
+            router,
+            max_steps=max_steps,
+            path_seed=13,
+            engine_seed=14,
+            max_in_flight=net.num_edges,
+        )
+        return summary, time.perf_counter() - start
+
+    return one_run
+
+
+def time_streaming_case(smoke: bool, repeats: int, target_sec: float) -> dict:
+    """Best-of-``repeats`` throughput of the streaming steady state."""
+    one_run = _streaming_run(smoke)
+    summary, elapsed = one_run()  # warm-up + calibration
+    inner = max(1, int(target_sec / max(elapsed, 1e-9)))
+
+    best = None
+    for _ in range(repeats):
+        steps = delivered = 0
+        start = time.perf_counter()
+        for _ in range(inner):
+            summary, _ = one_run()
+            steps += summary.steps
+            delivered += summary.delivered
+        elapsed = time.perf_counter() - start
+        sps = steps / elapsed if elapsed > 0 else float("inf")
+        if best is None or sps > best["steps_per_sec"]:
+            best = {
+                "steps_per_sec": round(sps, 1),
+                "delivered_per_sec": round(delivered / elapsed, 1),
+                "steps_executed": steps,
+                "elapsed_sec": round(elapsed, 4),
+                "runs_per_sample": inner,
+                "admitted": summary.admitted,
+                "delivered": summary.delivered,
+                "dropped": summary.dropped,
+                "peak_in_flight": summary.peak_in_flight,
+                "packet_slots": summary.packet_slots,
+            }
+    best["repeats"] = repeats
+    return best
+
+
 def _one_run(engine_factory, max_steps: int):
     engine = engine_factory()  # construction stays outside the timer
     start = time.perf_counter()
@@ -202,6 +268,15 @@ def run_engine_bench(smoke: bool, repeats: int):
             f"({timing['vectorized_speedup']:.2f}x, "
             f"identical={timing['ref_vec_identical']})"
         )
+    print("[engine] timing streaming_steady_state ...", flush=True)
+    cases["streaming_steady_state"] = time_streaming_case(
+        smoke, repeats, target_sec
+    )
+    print(
+        f"[engine]   {cases['streaming_steady_state']['steps_per_sec']:>10.1f} "
+        f"steps/sec (open-loop, "
+        f"{cases['streaming_steady_state']['packet_slots']} packet slots)"
+    )
     return cases, vec_cases if vec_ok else None
 
 
@@ -349,11 +424,13 @@ def main(argv=None) -> int:
         }
         if "trials" in prior:  # keep the trial speedup floor across recaptures
             payload["trials"] = prior["trials"]
-        # Keep the vectorized-speedup floors across recaptures too: they are
-        # deliberate hand-set minima (see docs/performance.md), not a record
-        # of whatever this machine measured today.
+        # Keep the vectorized-speedup and streaming floors across recaptures
+        # too: they are deliberate hand-set minima (see docs/performance.md),
+        # not a record of whatever this machine measured today.
         if "vectorized" in prior:
             payload["vectorized"] = prior["vectorized"]
+        if "streaming" in prior:
+            payload["streaming"] = prior["streaming"]
         write_json(BASELINE_PATH, payload)
         return 0
 
@@ -415,6 +492,26 @@ def main(argv=None) -> int:
                         file=sys.stderr,
                     )
                     return 1
+
+    streaming_floor = (baseline or {}).get("streaming", {}).get(
+        "vs_baseline_floor"
+    )
+    if streaming_floor is not None and not args.smoke:
+        ratio = engine_report.get("speedup_vs_baseline", {}).get(
+            "streaming_steady_state"
+        )
+        if ratio is not None:
+            print(
+                f"[engine] streaming_steady_state: floor "
+                f"{streaming_floor:.2f}x of baseline (measured {ratio:.2f}x)"
+            )
+            if ratio < streaming_floor:
+                print(
+                    f"ERROR: streaming_steady_state throughput {ratio:.2f}x "
+                    f"of baseline fell below the floor {streaming_floor:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
 
     if not args.engine_only:
         trials_report = {

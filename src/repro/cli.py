@@ -357,6 +357,128 @@ def _benchmarks_dir():
     return candidate if candidate.is_dir() else None
 
 
+def _parse_shard_ids(text: str) -> list:
+    """Parse ``--shard`` syntax: comma-separated ids and ranges (``0,2,5-7``)."""
+    shards = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "-" in token:
+            lo, hi = token.split("-", 1)
+            shards.extend(range(int(lo), int(hi) + 1))
+        else:
+            shards.append(int(token))
+    return shards
+
+
+def _manifest_base_spec(args: argparse.Namespace, packets, backend_params):
+    """The manifest's base spec for the sweep-store path.
+
+    ``--fixed-problem`` keeps :func:`_cli_spec`'s explicitly pinned
+    component seeds (manifest trials then reproduce the legacy
+    :func:`~repro.experiments.sweep_specs` bytes exactly).  Otherwise the
+    explicit component seeds are stripped so each trial's *master* seed
+    derives its own topology/workload/selector streams — one independent
+    instance per trial, the manifest-native form of the legacy per-seed
+    sweep (equivalent design, different seed derivation).
+    """
+    import dataclasses
+
+    base = _cli_spec(
+        args.net,
+        args.workload,
+        packets,
+        args.seed,
+        backend="frontier",
+        backend_params=backend_params,
+    )
+    if args.fixed_problem:
+        return base
+    strip = lambda params: {k: v for k, v in params.items() if k != "seed"}  # noqa: E731
+    return dataclasses.replace(
+        base,
+        topology_params=strip(base.topology_params),
+        workload_params=strip(base.workload_params),
+        selector_params=strip(base.selector_params),
+    )
+
+
+def _cmd_sweep_store(args: argparse.Namespace, packets, backend_params) -> int:
+    """The sharded sweep engine behind ``repro sweep --store/--manifest``."""
+    import json
+    import pathlib
+
+    from .sweeps import (
+        DEFAULT_SHARD_SIZE,
+        SweepHeartbeat,
+        SweepManifest,
+        load_manifest,
+        open_store,
+        print_sweep_report,
+        run_sweep,
+        save_manifest,
+    )
+
+    manifest_path = pathlib.Path(args.manifest) if args.manifest else None
+    if manifest_path is not None and manifest_path.exists():
+        manifest = load_manifest(manifest_path)
+        if args.shard_size is not None and args.shard_size != manifest.shard_size:
+            print(
+                f"error: --shard-size {args.shard_size} conflicts with "
+                f"manifest shard_size {manifest.shard_size}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        base = _manifest_base_spec(args, packets, backend_params)
+        manifest = SweepManifest.from_base(
+            base,
+            num_trials=args.trials,
+            shard_size=args.shard_size or DEFAULT_SHARD_SIZE,
+            pin=args.fixed_problem,
+        )
+        if manifest_path is not None:
+            save_manifest(manifest, manifest_path)
+            print(f"manifest  : wrote {manifest_path}")
+    print(f"manifest  : {manifest.describe()}")
+    if args.store is None:
+        # Manifest-only invocation: emit/describe and stop.
+        return 0
+
+    shards = _parse_shard_ids(args.shard) if args.shard else None
+    heartbeat = None
+    if args.progress:
+        if args.progress == "-":
+            sink = lambda record: print(  # noqa: E731
+                json.dumps(record, sort_keys=True), file=sys.stderr
+            )
+        else:
+            sink = args.progress
+        heartbeat = SweepHeartbeat(sink, total=manifest.num_trials)
+
+    store = open_store(args.store, manifest)
+    outcome = run_sweep(
+        manifest,
+        store,
+        workers=args.workers,
+        shards=shards,
+        resume=args.resume,
+        telemetry=args.telemetry,
+        cache=args.cache,
+        heartbeat=heartbeat,
+        compact=not args.no_compact,
+    )
+    print(f"store     : {store.dir}")
+    print_sweep_report(outcome)
+    if not outcome.complete:
+        # A partial contribution (restricted shards, leases held elsewhere)
+        # is success: another invocation finishes the manifest.
+        return 0
+    aggregate = outcome.aggregate or {}
+    return 0 if aggregate.get("delivered_all") == aggregate.get("trials") else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     import time
 
@@ -372,6 +494,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         probe = build_topology(args.net, seed=args.seed)
         packets = len(probe.nodes_at_level(0)) // 2
     backend_params = {"audit": True} if args.audit else {}
+    if args.store or args.manifest:
+        return _cmd_sweep_store(args, packets, backend_params)
     if args.fixed_problem:
         # Monte Carlo over the algorithm's coins: one instance, many
         # routings (the shape of the paper's probabilistic guarantees).
@@ -788,6 +912,60 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect per-trial counters (aggregated summary + per-trial "
         "progress on stderr)",
+    )
+    p_sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="sweep-store root: run through the sharded manifest engine "
+        "(resumable segments + streaming aggregate under "
+        "DIR/<manifest-hash>/; cooperating invocations share it)",
+    )
+    p_sweep.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="manifest JSON: load it if it exists, else derive one from "
+        "the flags and write it there (without --store: emit and stop)",
+    )
+    p_sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="IDS",
+        help="restrict this invocation to shard ids, e.g. '0,2,5-7' "
+        "(default: walk every shard, lease claims arbitrate overlap)",
+    )
+    p_sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="trials per shard when deriving a manifest (default 1024)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="break stale shard leases and resume in-progress part files "
+        "(per-shard output stays byte-identical to an uninterrupted run)",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="append sweep_heartbeat JSONL (trials/sec, ETA, cache hits) "
+        "to PATH ('-' = stderr)",
+    )
+    p_sweep.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="ResultCache root: trials whose results are cached re-emit "
+        "from disk instead of re-routing",
+    )
+    p_sweep.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="keep per-shard segments instead of compacting to "
+        "sweep.jsonl.gz on completion",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 

@@ -178,6 +178,10 @@ def _run_chunk(chunk: Sequence) -> List:
 def _cache_root(cache) -> Optional[pathlib.Path]:
     if cache is None:
         return None
+    if isinstance(cache, (str, pathlib.Path)):
+        # Paths are the root themselves; PosixPath.root is the filesystem
+        # anchor ("/"), so the getattr below must never see them.
+        return pathlib.Path(cache)
     return pathlib.Path(getattr(cache, "root", cache))
 
 
@@ -190,6 +194,7 @@ def run_spec_trials_batched(
     progress=None,
     warm: bool = True,
     dispatch: str = "auto",
+    collect: bool = True,
 ):
     """Batched spec sweep: warm serial, or chunked over a persistent pool.
 
@@ -208,6 +213,12 @@ def run_spec_trials_batched(
 
     Records come back in spec order and are byte-identical across every
     strategy.
+
+    ``collect=False`` switches to streaming mode for very large batches:
+    each record is handed to ``progress`` exactly as usual but *not*
+    retained, and the return value is an empty list — so peak memory is
+    one chunk of records, independent of ``len(specs)``.  The sweep store
+    (:mod:`repro.sweeps`) runs every shard this way.
     """
     from .parallel import default_chunksize, resolve_workers
 
@@ -224,12 +235,19 @@ def run_spec_trials_batched(
 
     executor = TrialExecutor(root, telemetry=telemetry, warm=warm)
     records: List = []
+    done = 0
+
+    def _emit(record) -> None:
+        nonlocal done
+        done += 1
+        if collect:
+            records.append(record)
+        if progress is not None:
+            progress(done, total, record)
 
     def _serial(batch) -> None:
         for spec in batch:
-            records.append(executor.run(spec))
-            if progress is not None:
-                progress(len(records), total, records[-1])
+            _emit(executor.run(spec))
 
     if dispatch == "serial" or (dispatch == "auto" and (workers <= 1 or total <= 1)):
         _serial(specs)
@@ -274,7 +292,5 @@ def run_spec_trials_batched(
         # chunksize=1: each mapped item is already a chunk of specs.
         for chunk_records in pool.map(_run_chunk, chunks):
             for record in chunk_records:
-                records.append(record)
-                if progress is not None:
-                    progress(len(records), total, record)
+                _emit(record)
     return records

@@ -48,21 +48,35 @@ def resolve_workers(workers: Optional[int]) -> int:
 #: and queue round-trips stay amortized.
 MIN_CHUNK_SEC = 0.025
 
+#: Maximum wall-clock duration one dispatched chunk should represent.
+#: Progress callbacks fire as whole chunks stream back to the parent, so
+#: uncapped chunks on very large batches (a 10^5-trial shard split 4 ways
+#: is a 6000+-trial chunk) would go *minutes* between callbacks — starving
+#: sweep heartbeats, lease liveness, and resume granularity.
+MAX_CHUNK_SEC = 2.0
+
+#: Absolute chunk cap when no per-item cost estimate is available: bounds
+#: worst-case callback latency and the records held in flight per chunk.
+MAX_CHUNK_ITEMS = 512
+
 
 def default_chunksize(
     num_items: int,
     workers: int,
     per_item_sec: Optional[float] = None,
     min_chunk_sec: float = MIN_CHUNK_SEC,
+    max_chunk_sec: float = MAX_CHUNK_SEC,
 ) -> int:
     """Chunked dispatch: ~4 chunks per worker bounds scheduling overhead
     while keeping the pool load-balanced when trial durations vary.
 
     When the caller knows the per-item cost (the adaptive dispatcher's
     probe measures it), chunks are additionally sized up to a minimum
-    duration target, capped at one chunk per worker so every worker still
-    gets work.  Without a cost estimate the count-based heuristic is
-    unchanged.
+    duration target — capped at one chunk per worker so every worker still
+    gets work — and *down* to a maximum duration target, so progress
+    callbacks keep firing every few seconds on 10^5-item batches.  Without
+    a cost estimate the count-based heuristic applies under an absolute
+    ``MAX_CHUNK_ITEMS`` cap.
     """
     if workers <= 1:
         return max(1, num_items)
@@ -71,7 +85,8 @@ def default_chunksize(
         by_duration = math.ceil(min_chunk_sec / per_item_sec)
         per_worker_cap = max(1, math.ceil(num_items / workers))
         size = max(size, min(by_duration, per_worker_cap))
-    return size
+        size = min(size, max(1, int(max_chunk_sec / per_item_sec)))
+    return min(size, MAX_CHUNK_ITEMS)
 
 
 #: Per-item progress callback: ``progress(done, total, item_result)``.

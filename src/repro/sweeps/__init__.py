@@ -1,0 +1,73 @@
+"""Million-trial sweep orchestration: manifests, shards, streaming store.
+
+The paper's Õ(C+D) delivery bound is probabilistic, so validating it — and
+searching the parameter space empirically — takes sweeps in the 10^5–10^6
+trial range.  This package turns such a sweep into a first-class,
+resumable, shardable artifact layered on the warm-pool batched executor:
+
+* :class:`SweepManifest` — the sweep as hash-stable data: one base
+  :class:`~repro.scenarios.RunSpec` plus an ordered list of per-trial
+  seeds, split into fixed-size shards;
+* :class:`SweepStore` — per-shard append-only JSONL(.gz) segments with
+  byte-identity per shard, crash-recoverable part files, a compaction
+  step, and a persisted streaming aggregate;
+* :class:`~repro.sweeps.lease.LeaseManager` — atomic lease files so
+  independent invocations (processes or hosts sharing a filesystem)
+  steal shards instead of colliding;
+* :class:`StreamingAggregate` — one-pass count/mean/percentile sketches
+  over delivery time, makespan, deflections, and telemetry counters, in
+  bounded memory;
+* :func:`run_sweep` — the work-stealing driver behind
+  ``repro sweep --store`` (with ``--manifest/--shard/--resume``).
+
+See docs/sweeps.md for the on-disk formats and the shard lease protocol.
+"""
+
+from .manifest import (
+    DEFAULT_SHARD_SIZE,
+    SweepManifest,
+    load_manifest,
+    manifest_from_specs,
+    save_manifest,
+)
+from .store import ShardWriter, SweepStore, encode_record, open_store
+from .lease import DEFAULT_STALE_AFTER_SEC, LeaseManager, ShardLease
+from .aggregate import (
+    IntSketch,
+    StreamingAggregate,
+    aggregate_records,
+    aggregate_store,
+    render_aggregate,
+)
+from .dispatch import (
+    ShardOutcome,
+    SweepHeartbeat,
+    SweepOutcome,
+    print_sweep_report,
+    run_sweep,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "SweepManifest",
+    "load_manifest",
+    "save_manifest",
+    "manifest_from_specs",
+    "SweepStore",
+    "ShardWriter",
+    "open_store",
+    "encode_record",
+    "LeaseManager",
+    "ShardLease",
+    "DEFAULT_STALE_AFTER_SEC",
+    "IntSketch",
+    "StreamingAggregate",
+    "aggregate_records",
+    "aggregate_store",
+    "render_aggregate",
+    "SweepHeartbeat",
+    "SweepOutcome",
+    "ShardOutcome",
+    "run_sweep",
+    "print_sweep_report",
+]

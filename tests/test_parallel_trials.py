@@ -127,6 +127,20 @@ class TestParallelHelpers:
         # Serial dispatch ignores the estimate: one chunk regardless.
         assert default_chunksize(100, 1, per_item_sec=0.0001) == 100
 
+    def test_default_chunksize_max_duration_cap(self):
+        from repro.experiments.parallel import MAX_CHUNK_ITEMS, MAX_CHUNK_SEC
+
+        # A 10^5-item batch over 4 workers would be 6250-item chunks on
+        # the count heuristic; with a cost estimate the duration cap keeps
+        # one chunk under MAX_CHUNK_SEC so progress callbacks keep firing.
+        assert default_chunksize(100_000, 4, per_item_sec=0.01) == int(
+            MAX_CHUNK_SEC / 0.01
+        )
+        # Without an estimate the absolute item cap bounds the chunk.
+        assert default_chunksize(100_000, 4) == MAX_CHUNK_ITEMS
+        # The cap never starves a chunk to zero for expensive items.
+        assert default_chunksize(100, 4, per_item_sec=60.0) == 1
+
     def test_derive_sweep_seeds_is_stable(self):
         a = derive_sweep_seeds(42, 5)
         b = derive_sweep_seeds(42, 5)

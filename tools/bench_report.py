@@ -344,6 +344,92 @@ def run_trials_bench(smoke: bool, workers: int) -> dict:
     return report
 
 
+def run_sweep_bench(smoke: bool, workers: int) -> dict:
+    """Sharded sweep-engine throughput + the kill/resume identity gate.
+
+    Runs one manifest twice over the same specs as the trial benchmark:
+    an uninterrupted reference sweep (timed — the engine's end-to-end
+    trials/sec through manifest, leases, shard segments, and the streaming
+    aggregate), and a replica whose first shard is pre-seeded with a
+    partial part file ending in a torn line — a simulated mid-shard kill —
+    then resumed.  ``shard_resume_identical`` asserts every finalized
+    shard segment of the resumed store is byte-equal to the reference:
+    the store's core guarantee, gated unconditionally (smoke included).
+    """
+    import tempfile
+
+    from repro.experiments.batch import TrialExecutor
+    from repro.sweeps import manifest_from_specs, open_store, run_sweep
+
+    num_trials = 8 if smoke else 64
+    shard_size = 4 if smoke else 16
+    specs = _trial_specs(num_trials)
+    manifest = manifest_from_specs(specs, shard_size=shard_size)
+
+    print(
+        f"[sweeps] {num_trials} trials in {manifest.num_shards} shards, "
+        f"workers={workers} ...",
+        flush=True,
+    )
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        store = open_store(root / "ref", manifest)
+        start = time.perf_counter()
+        outcome = run_sweep(manifest, store, workers=workers, compact=False)
+        elapsed = time.perf_counter() - start
+        ref_bytes = [store.shard_bytes(s) for s in manifest.shard_ids()]
+        ref_aggregate = store.load_aggregate()
+
+        print("[sweeps] simulated mid-shard kill, resuming ...", flush=True)
+        replica = open_store(root / "resumed", manifest)
+        executor = TrialExecutor()
+        prefix = manifest.shard_specs(0)[: max(1, shard_size // 2)]
+        with replica.writer(0) as writer:
+            for spec in prefix:
+                record = executor.run(spec)
+                writer.append(spec.seed, spec.content_hash(), record.result)
+        with open(replica.part_path(0), "ab") as fh:
+            fh.write(b'{"kind":"sweep_record","torn')  # killed mid-write
+        resumed = run_sweep(
+            manifest, replica, workers=workers, resume=True, compact=False
+        )
+        identical = ref_bytes == [
+            replica.shard_bytes(s) for s in manifest.shard_ids()
+        ]
+        aggregates_match = _aggregates_equivalent(
+            ref_aggregate, replica.load_aggregate()
+        )
+
+    trials_per_sec = num_trials / elapsed if elapsed > 0 else 0.0
+    report = {
+        "num_trials": num_trials,
+        "workers": workers,
+        "shard_size": shard_size,
+        "num_shards": manifest.num_shards,
+        "manifest_hash": manifest.manifest_hash(),
+        "elapsed_sec": round(elapsed, 3),
+        "trials_per_sec": round(trials_per_sec, 3),
+        "trials_resumed": resumed.trials_resumed,
+        "shard_resume_identical": identical and aggregates_match,
+        "complete": outcome.complete and resumed.complete,
+    }
+    print(
+        f"[sweeps] {trials_per_sec:.2f} trials/sec, resumed "
+        f"{resumed.trials_resumed} from disk, identical={identical}"
+    )
+    return report
+
+
+def _aggregates_equivalent(a, b) -> bool:
+    """Aggregate equality modulo cache_hits (an execution-path detail)."""
+    if a is None or b is None:
+        return False
+    a, b = dict(a), dict(b)
+    a.pop("cache_hits", None)
+    b.pop("cache_hits", None)
+    return a == b
+
+
 def _records_identical(a, b) -> bool:
     """Byte-identity of two trial-record lists (via canonical JSON)."""
     return _records_blob(a) == _records_blob(b)
@@ -431,6 +517,8 @@ def main(argv=None) -> int:
             payload["vectorized"] = prior["vectorized"]
         if "streaming" in prior:
             payload["streaming"] = prior["streaming"]
+        if "sweeps" in prior:
+            payload["sweeps"] = prior["sweeps"]
         write_json(BASELINE_PATH, payload)
         return 0
 
@@ -520,9 +608,22 @@ def main(argv=None) -> int:
             "environment": environment_info(),
             **run_trials_bench(args.smoke, args.workers),
         }
+        trials_report["sweep_throughput"] = run_sweep_bench(
+            args.smoke, args.workers
+        )
         print(f"wrote {write_bench_json('trials', trials_report)}")
         if not trials_report["serial_parallel_identical"]:
             print("ERROR: serial and parallel trial results differ", file=sys.stderr)
+            return 1
+        # The resume-identity gate is unconditional (smoke included): a
+        # resumed shard whose bytes differ from an uninterrupted run is a
+        # correctness bug in the store, not a perf regression.
+        if not trials_report["sweep_throughput"]["shard_resume_identical"]:
+            print(
+                "ERROR: resumed sweep shards are not byte-identical to the "
+                "uninterrupted run",
+                file=sys.stderr,
+            )
             return 1
         floor = (baseline or {}).get("trials", {}).get("parallel_speedup_floor")
         if floor is not None and not args.smoke:
@@ -532,6 +633,26 @@ def main(argv=None) -> int:
                 print(
                     f"ERROR: trial parallel_speedup {speedup:.2f}x fell below "
                     f"the recorded floor {floor:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+        sweep_floor = (baseline or {}).get("sweeps", {}).get("vs_parallel_floor")
+        if sweep_floor is not None and not args.smoke:
+            # The sweep engine adds manifest/lease/segment bookkeeping on
+            # top of the warm-pool path; it must still deliver at least
+            # this fraction of the raw batched trials/sec.
+            batched_rate = trials_report["parallel_trials_per_sec"]
+            sweep_rate = trials_report["sweep_throughput"]["trials_per_sec"]
+            floor_rate = sweep_floor * batched_rate
+            print(
+                f"[sweeps] throughput floor {sweep_floor:.2f}x of batched "
+                f"({floor_rate:.2f} trials/sec; measured {sweep_rate:.2f})"
+            )
+            if sweep_rate < floor_rate:
+                print(
+                    f"ERROR: sweep-engine throughput {sweep_rate:.2f} "
+                    f"trials/sec fell below {sweep_floor:.2f}x of the "
+                    f"batched rate ({floor_rate:.2f})",
                     file=sys.stderr,
                 )
                 return 1

@@ -586,6 +586,123 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_grid_values(text: str, cast) -> list:
+    """Parse a tune grid flag: comma-separated values, ``default`` = None.
+
+    ``--w-factors default,4,2`` means "the practical constructor's
+    default plus explicit 4 and 2"; ``-`` is accepted as a synonym for
+    ``default``.
+    """
+    values = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lower() in ("default", "-", "none"):
+            values.append(None)
+        else:
+            values.append(cast(token))
+    return values or [None]
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """The ``repro tune`` auto-tuner (see docs/tuning.md)."""
+    import json
+    import pathlib
+
+    from .experiments import catalog_spec
+    from .tuning import (
+        TuningStudy,
+        default_grid,
+        load_study,
+        print_study_report,
+        run_study,
+        save_study,
+    )
+
+    if args.study:
+        study = load_study(args.study)
+    else:
+        if args.catalog:
+            base = catalog_spec(args.catalog, seed=args.seed)
+            if base.backend not in ("frontier", "frontier_vec"):
+                print(
+                    f"error: catalog entry {args.catalog!r} uses backend "
+                    f"{base.backend!r}; tuning needs a frontier scenario",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            packets = args.packets
+            if args.workload == "hotrow" and packets is None:
+                probe = build_topology(args.net, seed=args.seed)
+                packets = len(probe.nodes_at_level(0)) // 2
+            base = _cli_spec(
+                args.net,
+                args.workload,
+                packets,
+                args.seed,
+                backend="frontier",
+            )
+        candidates = default_grid(
+            c_stars=_parse_grid_values(args.c_stars, float),
+            ms=_parse_grid_values(args.ms, int),
+            w_factors=_parse_grid_values(args.w_factors, float),
+            qs=_parse_grid_values(args.qs, float),
+            oversplits=_parse_grid_values(args.oversplits, float),
+        )
+        audit_catalog = tuple(
+            token.strip()
+            for token in (args.audit_catalog or "").split(",")
+            if token.strip()
+        )
+        study = TuningStudy(
+            base=base,
+            candidates=tuple(candidates),
+            budget=args.budget,
+            rungs=args.rungs,
+            eta=args.eta,
+            success_threshold=args.success_threshold,
+            audit_trials=args.audit_trials,
+            audit_catalog=audit_catalog,
+            shard_size=args.shard_size,
+            name=args.name or (base.name or ""),
+        )
+    if args.emit_study:
+        save_study(study, args.emit_study)
+        print(f"study     : wrote {args.emit_study}")
+    print(f"study     : {study.describe()}")
+    if args.store is None:
+        # Study-only invocation (mint/describe the manifest and stop) —
+        # the same contract as ``sweep --manifest`` without ``--store``.
+        return 0
+
+    progress = None
+    if args.progress:
+        if args.progress == "-":
+            progress = lambda record: print(  # noqa: E731
+                json.dumps(record, sort_keys=True), file=sys.stderr
+            )
+        else:
+            progress = args.progress
+    report = run_study(
+        study,
+        args.store,
+        resume=args.resume,
+        workers=args.workers,
+        progress=progress,
+    )
+    print_study_report(report)
+    print(f"store     : {pathlib.Path(args.store)}")
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report    : wrote {args.report}")
+    return 0 if report.winner is not None else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     import os
     import pathlib
@@ -968,6 +1085,138 @@ def make_parser() -> argparse.ArgumentParser:
         "sweep.jsonl.gz on completion",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="auto-tune frontier parameters (successive-halving sweep "
+        "study; see docs/tuning.md)",
+    )
+    p_tune.add_argument("--net", default="butterfly:4")
+    p_tune.add_argument(
+        "--workload",
+        default="random",
+        help="random | bottleneck | hotspot | permutation | hotrow",
+    )
+    p_tune.add_argument("--packets", type=int, default=None)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--catalog",
+        default=None,
+        metavar="NAME",
+        help="tune a catalog scenario instead of --net/--workload",
+    )
+    p_tune.add_argument(
+        "--study",
+        default=None,
+        metavar="PATH",
+        help="load a saved study JSON (ignores the scenario/grid flags); "
+        "reproduces that exact search",
+    )
+    p_tune.add_argument(
+        "--emit-study",
+        default=None,
+        metavar="PATH",
+        help="write the study JSON (the reproducible manifest) here",
+    )
+    p_tune.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="study root: sweep stores, shared result cache, study.json "
+        "and report.json live here (omit to just mint/describe the study)",
+    )
+    p_tune.add_argument(
+        "--budget",
+        type=int,
+        default=32,
+        help="trials per surviving candidate at the final rung",
+    )
+    p_tune.add_argument(
+        "--rungs", type=int, default=3, help="successive-halving rungs"
+    )
+    p_tune.add_argument(
+        "--eta",
+        type=int,
+        default=2,
+        help="halving factor: keep the best 1/eta candidates per rung",
+    )
+    p_tune.add_argument(
+        "--success-threshold",
+        type=float,
+        default=0.99,
+        help="prune candidates whose delivery-success rate falls below "
+        "this (default 0.99)",
+    )
+    p_tune.add_argument(
+        "--audit-trials",
+        type=int,
+        default=2,
+        help="audited probe trials per candidate before any sweep spend "
+        "(0 disables the invariant gate)",
+    )
+    p_tune.add_argument(
+        "--audit-catalog",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated extra catalog scenarios for the audit gate "
+        "(portfolio audit: a candidate must keep the invariants on every "
+        "listed instance, not just the base)",
+    )
+    p_tune.add_argument(
+        "--shard-size", type=int, default=256, help="trials per sweep shard"
+    )
+    p_tune.add_argument(
+        "--c-stars",
+        default="default,3",
+        metavar="LIST",
+        help="set_congestion_target grid values ('default' = constructor "
+        "default), e.g. 'default,2,3'",
+    )
+    p_tune.add_argument(
+        "--ms", default="default", metavar="LIST", help="m grid values"
+    )
+    p_tune.add_argument(
+        "--w-factors",
+        default="default,4,3,2",
+        metavar="LIST",
+        help="w_factor grid values",
+    )
+    p_tune.add_argument(
+        "--qs", default="default,0.25", metavar="LIST", help="q grid values"
+    )
+    p_tune.add_argument(
+        "--oversplits",
+        default="default,1",
+        metavar="LIST",
+        help="oversplit grid values",
+    )
+    p_tune.add_argument(
+        "--workers", type=int, default=1, help="trial processes per sweep"
+    )
+    p_tune.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed study: break stale shard leases and replay "
+        "valid record prefixes (stores stay byte-identical to an "
+        "uninterrupted run)",
+    )
+    p_tune.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="append tuning_rung/tuning_candidate + sweep_heartbeat JSONL "
+        "to PATH ('-' = stderr)",
+    )
+    p_tune.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the final TuningReport JSON here",
+    )
+    p_tune.add_argument(
+        "--name", default=None, help="label recorded in the study"
+    )
+    p_tune.set_defaults(func=cmd_tune)
 
     p_exp = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table"

@@ -1,9 +1,11 @@
 """The paper's primary contribution: frontier-frame hot-potato routing."""
 
 from .params import (
+    PRESETS,
     AlgorithmParams,
     TheoryValues,
     compute_theory_values,
+    preset_kwargs,
     theorem_success_probability,
     theorem_time_bound,
     polylog_exponent_check,
@@ -24,6 +26,8 @@ from .multiphase import MultiphaseResult, run_multiphase
 from .invariants import InvariantAuditor, AuditReport, Violation, audited_run
 
 __all__ = [
+    "PRESETS",
+    "preset_kwargs",
     "AlgorithmParams",
     "TheoryValues",
     "compute_theory_values",

@@ -182,6 +182,17 @@ def dynamic_spec(
     )
 
 
+#: Frontier catalog families that get a ``<name>_<preset>`` variant per
+#: entry in :data:`repro.core.PRESETS`.
+PRESET_FAMILIES = (
+    "butterfly_random",
+    "butterfly_hotrow",
+    "deep_random",
+    "mesh_monotone",
+    "funnel",
+)
+
+
 def _catalog() -> Dict[str, RunSpec]:
     entries = {
         "butterfly_random": butterfly_random_spec(4, seed=0),
@@ -207,6 +218,20 @@ def _catalog() -> Dict[str, RunSpec]:
         "dynamic_naive": dynamic_spec(4, seed=0, greedy=False),
         "dynamic_greedy": dynamic_spec(4, seed=0, greedy=True),
     }
+    # Explicit parameter-preset variants of the frontier families: the
+    # same pinned scenarios run under each named family in
+    # repro.core.PRESETS (selected via backend_params={"preset": ...}).
+    # "paper-faithful" matches the bare entries' defaults — it exists so
+    # both sides of the docs/tuning.md comparison are addressable specs;
+    # "practical" is the tuned family (see docs/tuning.md).
+    from ..core import PRESETS
+
+    for base_name in PRESET_FAMILIES:
+        for preset in PRESETS:
+            slug = preset.replace("-", "_")
+            entries[f"{base_name}_{slug}"] = entries[base_name].with_params(
+                preset=preset
+            )
     import dataclasses
 
     return {

@@ -22,6 +22,37 @@ from ..rng import stable_hash_seed
 from ..sim import Engine, RunResult, Router
 
 
+def resolve_trial_params(
+    problem: RoutingProblem, **params_kwargs
+) -> AlgorithmParams:
+    """Build the parameterization a trial's keyword arguments describe.
+
+    A ``preset`` key selects a named family from
+    :data:`repro.core.PRESETS` (remaining kwargs override its values);
+    otherwise the kwargs go straight to
+    :meth:`~repro.core.AlgorithmParams.practical`.  This is the single
+    funnel through which scenario ``backend_params`` become
+    :class:`~repro.core.AlgorithmParams`, shared by the reference and
+    vectorized trial runners.
+    """
+    preset = params_kwargs.pop("preset", None)
+    congestion = max(1, problem.congestion)
+    if preset is not None:
+        return AlgorithmParams.from_preset(
+            preset,
+            congestion,
+            problem.net.depth,
+            problem.num_packets,
+            **params_kwargs,
+        )
+    return AlgorithmParams.practical(
+        congestion,
+        problem.net.depth,
+        problem.num_packets,
+        **params_kwargs,
+    )
+
+
 @dataclass
 class TrialRecord:
     """One routing trial."""
@@ -55,12 +86,7 @@ def run_frontier_trial(
     otherwise the assignment is drawn uniformly as in the paper.
     """
     if params is None:
-        params = AlgorithmParams.practical(
-            max(1, problem.congestion),
-            problem.net.depth,
-            problem.num_packets,
-            **params_kwargs,
-        )
+        params = resolve_trial_params(problem, **params_kwargs)
     set_of = None
     if condition_sets:
         set_of = resample_until_bounded(
@@ -125,12 +151,7 @@ def run_frontier_vec_trial(
             **params_kwargs,
         )
     if params is None:
-        params = AlgorithmParams.practical(
-            max(1, problem.congestion),
-            problem.net.depth,
-            problem.num_packets,
-            **params_kwargs,
-        )
+        params = resolve_trial_params(problem, **params_kwargs)
     set_of = None
     if condition_sets:
         set_of = resample_until_bounded(

@@ -26,7 +26,13 @@ path is untouched.
 """
 
 from .context import current_session
-from .counters import COUNTERS_SCHEMA, PHASE_FIELDS, Counters, aggregate_counters
+from .counters import (
+    COUNTERS_SCHEMA,
+    PHASE_FIELDS,
+    Counters,
+    aggregate_counters,
+    counters_digest,
+)
 from .live import WINDOW_SCHEMA, WindowedMetrics
 from .report import ReportSource, render_report, resolve_source
 from .session import TelemetryConfig, TelemetrySession
@@ -58,6 +64,7 @@ __all__ = [
     "WINDOW_SCHEMA",
     "WindowedMetrics",
     "aggregate_counters",
+    "counters_digest",
     "current_session",
     "event_from_obj",
     "event_to_obj",

@@ -235,6 +235,32 @@ class Counters:
         return counters
 
 
+def counters_digest(snapshot: Optional[dict]) -> Optional[dict]:
+    """Verdict-sized digest of a (possibly aggregated) counters snapshot.
+
+    The parameter tuner folds a whole sweep's telemetry into one
+    aggregated snapshot (:func:`aggregate_counters` via the sweep
+    engine's :class:`~repro.sweeps.StreamingAggregate`) and keeps only
+    the safety-relevant slice per candidate: the deflection safety
+    split and the peak simultaneous per-level occupancy.  Returns
+    ``None`` for ``None`` input so untelemetered sweeps degrade
+    gracefully.
+    """
+    if not snapshot:
+        return None
+    deflections = snapshot.get("deflections", {})
+    level_peaks = snapshot.get("level_peaks", {})
+    peak = max((int(v) for v in level_peaks.values()), default=0)
+    return {
+        "runs": int(snapshot.get("runs", 1)),
+        "events_total": int(snapshot.get("events_total", 0)),
+        "deflections_safe": int(deflections.get("safe", 0)),
+        "deflections_unsafe": int(deflections.get("unsafe", 0)),
+        "occupancy_peak": peak,
+        "phases_seen": int(snapshot.get("phases_seen", 0)),
+    }
+
+
 def aggregate_counters(snapshots: Sequence[Optional[dict]]) -> Optional[dict]:
     """Merge per-trial counter snapshots (sweep aggregation).
 

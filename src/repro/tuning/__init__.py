@@ -1,0 +1,51 @@
+"""Sweep-driven parameter auto-tuning (the ``repro tune`` machinery).
+
+Searches the frontier algorithm's (c*, m, w_factor, q, oversplit) space
+for the smallest parameterization that still preserves the frame
+invariants and an empirical delivery-success threshold.  A
+:class:`TuningStudy` describes the search (pinned base scenario,
+candidate grid, successive-halving budget schedule); :func:`run_study`
+executes it through the :mod:`repro.sweeps` engine — one resumable,
+byte-stable :class:`~repro.sweeps.SweepStore` per candidate per rung —
+and folds each candidate's streaming aggregate (success rate, makespan
+sketch, telemetry counters) into a :class:`TuningReport` of per-candidate
+verdicts with steps-vs-(C+D) ratios.
+
+The shipped ``"practical"`` preset in :data:`repro.core.PRESETS` came out
+of such a study (checked in at
+``benchmarks/studies/practical_preset_study.json``); docs/tuning.md
+documents the procedure, gates, and measured margins.
+"""
+
+from .study import (
+    CANDIDATE_FIELDS,
+    TuningCandidate,
+    TuningStudy,
+    default_grid,
+    load_study,
+    save_study,
+)
+from .report import CandidateVerdict, TuningReport
+from .driver import (
+    REPORT_FILENAME,
+    STUDY_FILENAME,
+    TuningProgress,
+    print_study_report,
+    run_study,
+)
+
+__all__ = [
+    "CANDIDATE_FIELDS",
+    "REPORT_FILENAME",
+    "STUDY_FILENAME",
+    "TuningCandidate",
+    "TuningStudy",
+    "CandidateVerdict",
+    "TuningReport",
+    "TuningProgress",
+    "default_grid",
+    "load_study",
+    "save_study",
+    "print_study_report",
+    "run_study",
+]

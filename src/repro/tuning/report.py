@@ -1,0 +1,157 @@
+"""Per-candidate verdicts and the study-level tuning report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CandidateVerdict:
+    """What one rung of trials established about one candidate.
+
+    ``steps_ratio`` is the headline number: mean delivered makespan over
+    the instance's ``C + D`` lower bound — the empirical analogue of the
+    paper's ``O((C+L)·ln⁹(LN))`` polylog factor.  ``telemetry`` carries
+    the :func:`~repro.telemetry.counters_digest` slice of the sweep's
+    folded counters (deflection safety split, peak level occupancy).
+    """
+
+    key: str
+    rung: int
+    trials: int
+    params: Dict[str, float]
+    audit_ok: bool = True
+    audit_violations: List[str] = field(default_factory=list)
+    success_rate: Optional[float] = None
+    makespan_mean: Optional[float] = None
+    makespan_p50: Optional[int] = None
+    makespan_p95: Optional[int] = None
+    steps_ratio: Optional[float] = None
+    unsafe_deflections: int = 0
+    telemetry: Optional[dict] = None
+    pruned: bool = False
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "rung": self.rung,
+            "trials": self.trials,
+            "params": dict(self.params),
+            "audit_ok": self.audit_ok,
+            "audit_violations": list(self.audit_violations),
+            "success_rate": self.success_rate,
+            "makespan_mean": self.makespan_mean,
+            "makespan_p50": self.makespan_p50,
+            "makespan_p95": self.makespan_p95,
+            "steps_ratio": self.steps_ratio,
+            "unsafe_deflections": self.unsafe_deflections,
+            "telemetry": self.telemetry,
+            "pruned": self.pruned,
+            "reason": self.reason,
+        }
+
+    def row(self) -> str:
+        success = (
+            f"{self.success_rate:.1%}" if self.success_rate is not None else "-"
+        )
+        makespan = (
+            f"{self.makespan_mean:.1f}" if self.makespan_mean is not None else "-"
+        )
+        ratio = (
+            f"{self.steps_ratio:.1f}" if self.steps_ratio is not None else "-"
+        )
+        status = "pruned: " + self.reason if self.pruned else "kept"
+        audit = "ok" if self.audit_ok else "VIOLATED"
+        return (
+            f"  {self.key:<28} {self.trials:>6} {success:>8} {makespan:>10} "
+            f"{ratio:>8} {self.unsafe_deflections:>7} {audit:>8}  {status}"
+        )
+
+
+@dataclass
+class TuningReport:
+    """The full outcome of a study: every verdict, plus the winner."""
+
+    study_hash: str
+    study_name: str
+    base: str
+    base_hash: str
+    congestion: int
+    dilation: int
+    rounds: List[List[CandidateVerdict]] = field(default_factory=list)
+    winner: Optional[CandidateVerdict] = None
+    baseline: Optional[CandidateVerdict] = None
+
+    @property
+    def c_plus_d(self) -> int:
+        return self.congestion + self.dilation
+
+    @property
+    def improvement(self) -> Optional[float]:
+        """Baseline mean makespan over the winner's (>1 = winner faster)."""
+        if (
+            self.winner is None
+            or self.baseline is None
+            or not self.winner.makespan_mean
+            or self.baseline.makespan_mean is None
+        ):
+            return None
+        return self.baseline.makespan_mean / self.winner.makespan_mean
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "tuning_report",
+            "study_hash": self.study_hash,
+            "study_name": self.study_name,
+            "base": self.base,
+            "base_hash": self.base_hash,
+            "congestion": self.congestion,
+            "dilation": self.dilation,
+            "c_plus_d": self.c_plus_d,
+            "rounds": [
+                [verdict.to_dict() for verdict in rung]
+                for rung in self.rounds
+            ],
+            "winner": self.winner.to_dict() if self.winner else None,
+            "baseline": self.baseline.to_dict() if self.baseline else None,
+            "improvement": self.improvement,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"study  : {self.study_name or 'tuning study'} "
+            f"({self.study_hash})",
+            f"base   : {self.base} (C={self.congestion}, D={self.dilation}, "
+            f"C+D={self.c_plus_d})",
+        ]
+        header = (
+            f"  {'candidate':<28} {'trials':>6} {'success':>8} "
+            f"{'makespan':>10} {'T/(C+D)':>8} {'unsafe':>7} {'audit':>8}"
+        )
+        for rung, verdicts in enumerate(self.rounds):
+            pruned = sum(1 for v in verdicts if v.pruned)
+            trials = verdicts[0].trials if verdicts else 0
+            lines.append(
+                f"rung {rung} ({trials} trials/candidate): "
+                f"{len(verdicts)} candidates, {pruned} pruned"
+            )
+            lines.append(header)
+            lines.extend(verdict.row() for verdict in verdicts)
+        if self.winner is None:
+            lines.append("winner : none (every candidate was pruned)")
+        else:
+            lines.append(
+                f"winner : {self.winner.key} — makespan "
+                f"{self.winner.makespan_mean:.1f}, "
+                f"T/(C+D) {self.winner.steps_ratio:.1f}, success "
+                f"{self.winner.success_rate:.1%}"
+            )
+            if self.improvement is not None and self.winner is not self.baseline:
+                lines.append(
+                    f"margin : {self.improvement:.2f}x fewer steps than the "
+                    f"paper-faithful default "
+                    f"(makespan {self.baseline.makespan_mean:.1f})"
+                )
+        return "\n".join(lines)

@@ -135,6 +135,48 @@ class TestObservabilityDoc:
         assert "#telemetry-overhead" in read("docs/observability.md")
 
 
+class TestTuningDoc:
+    def test_every_preset_documented(self):
+        """Every name in the PRESETS catalog must appear in docs/tuning.md."""
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        try:
+            from repro.core import PRESETS
+        finally:
+            sys.path.pop(0)
+        doc = read("docs/tuning.md")
+        for name in PRESETS:
+            assert name in doc, (
+                f"docs/tuning.md does not document preset {name!r}"
+            )
+
+    def test_checked_in_study_exists(self):
+        """The study the docs (and PRESETS docstring) point at is real."""
+        study_path = ROOT / "benchmarks" / "studies" / (
+            "practical_preset_study.json"
+        )
+        assert study_path.exists()
+        assert "benchmarks/studies/practical_preset_study.json" in read(
+            "docs/tuning.md"
+        )
+
+    def test_documented_preset_values_match_shipped(self):
+        """docs/tuning.md's winner block must quote the shipped values."""
+        import sys
+
+        sys.path.insert(0, str(ROOT / "src"))
+        try:
+            from repro.core import PRESETS
+        finally:
+            sys.path.pop(0)
+        doc = read("docs/tuning.md")
+        for key, value in PRESETS["practical"].items():
+            assert f'"{key}": {value}' in doc, (
+                f"docs/tuning.md's winner block is stale for {key}={value}"
+            )
+
+
 class TestExamplesCovered:
     def test_every_example_has_a_smoke_test(self):
         smoke = read("tests/test_examples.py")

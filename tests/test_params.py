@@ -5,10 +5,12 @@ import math
 import pytest
 
 from repro.core import (
+    PRESETS,
     AlgorithmParams,
     compute_theory_values,
     ln_ln_factor,
     polylog_exponent_check,
+    preset_kwargs,
     theorem_success_probability,
     theorem_time_bound,
 )
@@ -114,3 +116,100 @@ class TestAlgorithmParams:
         desc = AlgorithmParams.practical(4, 8, 16).describe()
         for key in ("num_sets", "m", "w", "q", "total_steps"):
             assert key in desc
+
+    def test_tiny_instance_practical(self):
+        # L = N = 1 clamps ln(LN) to 1; every derived value stays legal.
+        params = AlgorithmParams.practical(1, 1, 1)
+        assert params.num_sets >= 1
+        assert params.m >= 4
+        assert params.w >= 1
+        assert 0.0 <= params.q <= 1.0
+        assert params.set_congestion_bound >= 1.0
+
+    def test_q_extremes_are_valid_parameterizations(self):
+        for q in (0.0, 1.0):
+            params = AlgorithmParams.practical(4, 8, 16, q=q)
+            assert params.q == q
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"paper-faithful", "practical"}
+        # paper-faithful IS the practical constructor's defaults.
+        assert PRESETS["paper-faithful"] == {}
+
+    def test_preset_kwargs_copies(self):
+        kwargs = preset_kwargs("practical")
+        kwargs["m"] = 999
+        assert PRESETS["practical"]["m"] != 999
+
+    def test_unknown_preset(self):
+        with pytest.raises(ParameterError, match="paper-faithful"):
+            preset_kwargs("turbo")
+        with pytest.raises(ParameterError):
+            AlgorithmParams.from_preset("turbo", 4, 8, 16)
+
+    def test_paper_faithful_matches_defaults(self):
+        via_preset = AlgorithmParams.from_preset("paper-faithful", 6, 20, 50)
+        direct = AlgorithmParams.practical(6, 20, 50)
+        assert via_preset.describe() == {
+            **direct.describe(),
+            "mode": "paper-faithful",
+        }
+
+    def test_practical_preset_values(self):
+        params = AlgorithmParams.from_preset("practical", 6, 20, 50)
+        assert params.mode == "practical"
+        assert params.m == PRESETS["practical"]["m"]
+        assert params.q == PRESETS["practical"]["q"]
+        assert params.set_congestion_bound == (
+            PRESETS["practical"]["set_congestion_target"]
+        )
+
+    def test_overrides_win(self):
+        params = AlgorithmParams.from_preset(
+            "practical", 6, 20, 50, m=12, q=0.125
+        )
+        assert params.m == 12
+        assert params.q == 0.125
+
+    def test_presets_survive_tiny_instances(self):
+        for name in PRESETS:
+            params = AlgorithmParams.from_preset(name, 1, 1, 1)
+            assert params.m >= 4
+            assert params.total_steps >= 1
+
+
+class TestPresetEndToEnd:
+    """The shipped presets against real instances (regression gates)."""
+
+    def test_q_extremes_route_end_to_end(self):
+        from repro.experiments import butterfly_random_instance, run_frontier_trial
+
+        problem = butterfly_random_instance(3, seed=5)
+        for q in (0.0, 1.0):
+            record = run_frontier_trial(problem, 0, audit=True, q=q)
+            assert record.result.all_delivered, f"q={q} left packets"
+            assert record.audit is not None and record.audit.ok
+
+    def test_practical_preset_audits_clean_on_every_family(self):
+        # The regression gate behind the shipped preset: "practical" must
+        # keep every frontier-frame invariant (and deliver everything) on
+        # every catalog topology family, not just the one it was tuned on.
+        from repro.experiments import (
+            PRESET_FAMILIES,
+            catalog_spec,
+            run_frontier_trial,
+        )
+        from repro.scenarios import build_problem
+
+        families = tuple(PRESET_FAMILIES) + ("mesh_corner_shift",)
+        for name in families:
+            problem = build_problem(catalog_spec(name).with_pinned_scenario())
+            record = run_frontier_trial(
+                problem, 0, audit=True, preset="practical"
+            )
+            assert record.result.all_delivered, f"{name}: packets stuck"
+            assert record.audit is not None and record.audit.ok, (
+                f"{name}: {record.audit.summary()}"
+            )

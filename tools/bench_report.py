@@ -9,7 +9,11 @@ trajectory of the simulator is tracked PR over PR:
   ``tools/bench_baseline.json``;
 * ``BENCH_trials.json``  — end-to-end trial throughput (trials/sec) of the
   seeded experiment runner, serial vs. parallel, including a byte-identity
-  check between the two modes.
+  check between the two modes;
+* ``BENCH_presets.json`` — the paper-faithful vs ``"practical"`` preset
+  comparison (mean makespan, steps-vs-(C+D) ratio, margin), gated on the
+  practical preset delivering everything, passing the invariant audit,
+  and keeping its step-count margin above the recorded floor.
 
 Usage::
 
@@ -420,6 +424,72 @@ def run_sweep_bench(smoke: bool, workers: int) -> dict:
     return report
 
 
+def run_presets_bench(smoke: bool) -> dict:
+    """Paper-faithful vs the tuned ``"practical"`` preset, with hard gates.
+
+    Runs every preset in :data:`repro.core.PRESETS` on the pinned
+    ``butterfly_random`` catalog instance and reports mean makespan and
+    the steps-vs-(C+D) ratio per preset, plus ``margin`` — how many times
+    fewer steps the practical preset takes than the paper-faithful one.
+    Two gates guard the shipped preset:
+
+    * ``practical_ok`` (unconditional, smoke included): the practical
+      preset must deliver every packet *and* pass the full invariant
+      audit — a preset that trades correctness for speed is a bug;
+    * the ``presets.margin_floor`` entry of tools/bench_baseline.json
+      (full runs only): the measured margin must stay above the recorded
+      floor, so the advantage the tuning study bought (see
+      docs/tuning.md) is tracked PR over PR like any perf number.
+    """
+    from repro.core import PRESETS
+    from repro.experiments import catalog_spec, run_frontier_trial
+    from repro.scenarios import build_problem
+
+    base = "butterfly_random"
+    trials = 2 if smoke else 10
+    pinned = catalog_spec(base).with_pinned_scenario()
+    problem = build_problem(pinned)
+    c_plus_d = max(1, problem.congestion + problem.dilation)
+
+    report = {
+        "scenario": base,
+        "congestion": problem.congestion,
+        "dilation": problem.dilation,
+        "trials": trials,
+        "presets": {},
+    }
+    means = {}
+    for name in sorted(PRESETS):
+        print(f"[presets] {name}: {trials} trials ...", flush=True)
+        audited = run_frontier_trial(problem, 0, audit=True, preset=name)
+        records = [audited] + [
+            run_frontier_trial(problem, seed, preset=name)
+            for seed in range(1, trials)
+        ]
+        mean = sum(r.result.makespan for r in records) / len(records)
+        means[name] = mean
+        report["presets"][name] = {
+            "makespan_mean": round(mean, 1),
+            "steps_ratio": round(mean / c_plus_d, 1),
+            "delivered_all": all(r.result.all_delivered for r in records),
+            "audit_ok": audited.audit is not None and audited.audit.ok,
+        }
+        print(
+            f"[presets]   makespan {mean:.1f} "
+            f"({mean / c_plus_d:.1f}x of C+D)"
+        )
+    practical = report["presets"]["practical"]
+    report["practical_ok"] = (
+        practical["delivered_all"] and practical["audit_ok"]
+    )
+    report["margin"] = round(means["paper-faithful"] / means["practical"], 1)
+    print(
+        f"[presets] margin: practical is {report['margin']:.1f}x fewer "
+        f"steps than paper-faithful (ok={report['practical_ok']})"
+    )
+    return report
+
+
 def _aggregates_equivalent(a, b) -> bool:
     """Aggregate equality modulo cache_hits (an execution-path detail)."""
     if a is None or b is None:
@@ -519,6 +589,8 @@ def main(argv=None) -> int:
             payload["streaming"] = prior["streaming"]
         if "sweeps" in prior:
             payload["sweeps"] = prior["sweeps"]
+        if "presets" in prior:
+            payload["presets"] = prior["presets"]
         write_json(BASELINE_PATH, payload)
         return 0
 
@@ -600,6 +672,32 @@ def main(argv=None) -> int:
                     file=sys.stderr,
                 )
                 return 1
+
+    presets_report = run_presets_bench(args.smoke)
+    print(f"wrote {write_bench_json('presets', presets_report)}")
+    # The correctness gate is unconditional (smoke included): the shipped
+    # practical preset must deliver everything and keep every invariant.
+    if not presets_report["practical_ok"]:
+        print(
+            "ERROR: the 'practical' preset failed delivery or the "
+            "invariant audit",
+            file=sys.stderr,
+        )
+        return 1
+    margin_floor = (baseline or {}).get("presets", {}).get("margin_floor")
+    if margin_floor is not None and not args.smoke:
+        margin = presets_report["margin"]
+        print(
+            f"[presets] margin floor {margin_floor:.1f}x "
+            f"(measured {margin:.1f}x)"
+        )
+        if margin < margin_floor:
+            print(
+                f"ERROR: practical-preset margin {margin:.1f}x fell below "
+                f"the recorded floor {margin_floor:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
 
     if not args.engine_only:
         trials_report = {

@@ -801,22 +801,40 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     print(f"spec  : {spec.describe()}")
     telemetry = args.telemetry or args.trace is not None
-    if args.cache:
-        record = run_cached(
-            spec,
-            cache=args.cache_dir,
-            telemetry=telemetry,
-            trace_path=args.trace,
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if args.cache:
+            record = run_cached(
+                spec,
+                cache=args.cache_dir,
+                telemetry=telemetry,
+                trace_path=args.trace,
+            )
+        else:
+            record = run_trial(
+                spec, telemetry=telemetry, trace_path=args.trace
+            )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+    if profiler is not None:
+        print(
+            f"profile: wrote {args.profile} "
+            f"(view with: python -m pstats {args.profile})"
         )
-        if record.cached:
-            print("cache : hit")
-            if args.trace is not None:
-                print(
-                    "trace : not written (cache hit; clear the record to "
-                    "re-run with tracing)"
-                )
-    else:
-        record = run_trial(spec, telemetry=telemetry, trace_path=args.trace)
+    if args.cache and record.cached:
+        print("cache : hit")
+        if args.trace is not None:
+            print(
+                "trace : not written (cache hit; clear the record to "
+                "re-run with tracing)"
+            )
     print(record.result.summary())
     if args.trace is not None and not record.cached:
         print(f"trace : wrote {args.trace}")
@@ -1272,6 +1290,13 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream every engine event to a JSONL trace file "
         "(.jsonl or .jsonl.gz; implies --telemetry)",
+    )
+    p_run.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the run under cProfile and dump pstats data to PATH "
+        "(view with: python -m pstats PATH)",
     )
     p_run.set_defaults(func=cmd_run)
 

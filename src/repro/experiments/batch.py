@@ -43,6 +43,7 @@ size) can never leak into results, telemetry counters, or trace digests
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from time import perf_counter
@@ -63,6 +64,23 @@ POOL_ADVANTAGE_MARGIN = 1.25
 #: Trials executed in the parent to estimate per-trial cost ("the first
 #: completed chunk" of the adaptive dispatcher).
 PROBE_TRIALS = 4
+
+#: Widest batch one lockstep kernel instance advances at once.  Wider
+#: batches amortize dispatch better but pay more memory and more masked
+#: work per straggler trial; 64 matches the fixed-problem bench and keeps
+#: the stacked arrays comfortably in cache for typical problem sizes.
+LOCKSTEP_MAX_TRIALS = 64
+
+#: Spec backends the lockstep kernel can execute, mapped to the kernel
+#: family that runs them.  ``frontier``/``frontier_vec`` (and the
+#: ``REPRO_BACKEND`` reroute between them) are byte-identical per trial,
+#: so they share one lockstep family; likewise the naive pair.
+_LOCKSTEP_FAMILIES = {
+    "frontier": "frontier",
+    "frontier_vec": "frontier",
+    "naive": "naive",
+    "naive_vec": "naive",
+}
 
 
 def usable_cpus() -> int:
@@ -108,10 +126,18 @@ class TrialExecutor:
         telemetry: bool = False,
         warm: bool = True,
         capacity: int = DEFAULT_SCENARIO_CAPACITY,
+        lockstep: bool = True,
     ) -> None:
         self.cache_root = cache_root
         self.telemetry = telemetry
-        self.scenarios = ScenarioCache(capacity) if warm else None
+        # ``warm`` may pass an existing ScenarioCache so callers running
+        # many batches over one scenario (the sweep driver's shard loop)
+        # share a single problem build across executors.
+        if isinstance(warm, ScenarioCache):
+            self.scenarios = warm
+        else:
+            self.scenarios = ScenarioCache(capacity) if warm else None
+        self.lockstep = lockstep
 
     def run(self, spec):
         """Execute one spec, returning a data-only record (no problem)."""
@@ -135,6 +161,147 @@ class TrialExecutor:
         record.problem = None
         return record
 
+    # --------------------------------------------------- lockstep batching
+
+    def _group_key(self, spec):
+        """Lockstep grouping key for ``spec``, or None when ineligible.
+
+        Two specs with equal keys are guaranteed to materialize the *same*
+        routing problem (``scenario_hash`` covers every resolved component
+        seed) and run it under the same backend family and parameters, so
+        the stacked kernel can advance them in one set of arrays.  Trials
+        needing per-trial machinery peel off to :meth:`run`: telemetry or
+        an ambient trace session (the lockstep kernel carries no
+        observers), invariant audits, arrival schedules, non-lockstep
+        backends, or a missing numpy.
+        """
+        if not self.lockstep or self.telemetry:
+            return None
+        family = _LOCKSTEP_FAMILIES.get(spec.backend)
+        if family is None or spec.arrival:
+            return None
+        if family == "frontier" and spec.backend_params.get("audit"):
+            return None
+        from ..sim.soa import NUMPY_AVAILABLE
+
+        if not NUMPY_AVAILABLE:
+            return None
+        from ..telemetry.context import current_session
+
+        if current_session() is not None:
+            return None
+        return (
+            spec.scenario_hash(),
+            family,
+            json.dumps(dict(spec.backend_params), sort_keys=True),
+        )
+
+    def run_chunk(self, specs: Sequence) -> List:
+        """Execute a chunk of specs in order, lockstepping where possible.
+
+        Consecutive specs sharing a :meth:`_group_key` (a fixed-problem
+        Monte Carlo run differing only in seed) execute as one stacked
+        batch of up to :data:`LOCKSTEP_MAX_TRIALS` trials; everything else
+        falls through to the ordinary per-trial :meth:`run`.  Records come
+        back in spec order and are byte-identical to a per-trial loop —
+        the kernel's per-trial RNG streams replay the serial draws exactly
+        (pinned by ``tests/test_engine_lockstep.py``).
+        """
+        specs = list(specs)
+        records: List = []
+        i, n = 0, len(specs)
+        while i < n:
+            key = self._group_key(specs[i])
+            if key is None:
+                records.append(self.run(specs[i]))
+                i += 1
+                continue
+            j = i + 1
+            while (
+                j < n
+                and j - i < LOCKSTEP_MAX_TRIALS
+                and self._group_key(specs[j]) == key
+            ):
+                j += 1
+            records.extend(self._run_lockstep(specs[i:j], key[1]))
+            i = j
+        return records
+
+    def _run_lockstep(self, group: Sequence, family: str) -> List:
+        """Run one homogeneous group on the stacked kernel, in spec order.
+
+        Disk-cache hits peel out first (returned exactly as :func:`~repro.
+        scenarios.run_cached` would return them); the remaining misses run
+        as one lockstep batch over the group's shared warm problem and are
+        stored back, so cache contents match the per-trial path byte for
+        byte.
+        """
+        from ..scenarios.dispatch import ScenarioRun, build_problem
+
+        cache = None
+        if self.cache_root is not None:
+            from ..scenarios.cache import ResultCache
+
+            cache = ResultCache(self.cache_root)
+        slots: List[Optional[ScenarioRun]] = []
+        misses: List[int] = []
+        for spec in group:
+            hit = cache.load_record(spec) if cache is not None else None
+            if hit is not None:
+                result, timings = hit
+                slots.append(
+                    ScenarioRun(
+                        spec=spec, result=result, cached=True, timings=timings
+                    )
+                )
+            else:
+                slots.append(None)
+                misses.append(len(slots) - 1)
+        if not misses:
+            return slots
+        first = group[misses[0]]
+        problem = (
+            self.scenarios.problem_for(first)
+            if self.scenarios is not None
+            else build_problem(first)
+        )
+        seeds = [group[k].seed for k in misses]
+        tag = f"lockstep[w={len(seeds)}]"
+        if family == "frontier":
+            from .runner import run_frontier_trials_lockstep
+
+            params = dict(first.backend_params)
+            params.pop("audit", None)
+            params.pop("audit_congestion_bound", None)
+            results = [
+                rec.result
+                for rec in run_frontier_trials_lockstep(
+                    problem,
+                    seeds,
+                    condition_sets=bool(params.pop("condition_sets", False)),
+                    fast_forward=bool(params.pop("fast_forward", True)),
+                    max_steps=params.pop("max_steps", None),
+                    **params,
+                )
+            ]
+        else:
+            from .configs import baseline_budget
+            from .runner import run_naive_trials_lockstep
+
+            explicit = first.backend_params.get("max_steps")
+            budget = (
+                int(explicit)
+                if explicit is not None
+                else baseline_budget(problem)
+            )
+            results = run_naive_trials_lockstep(problem, seeds, budget)
+        for k, result in zip(misses, results):
+            spec = group[k]
+            if cache is not None:
+                cache.store(spec, result)
+            slots[k] = ScenarioRun(spec=spec, result=result, executor=tag)
+        return slots
+
 
 # ------------------------------------------------------- pool worker plumbing
 #
@@ -149,6 +316,7 @@ def _init_worker(
     telemetry: bool,
     warm: bool,
     capacity: int,
+    lockstep: bool = True,
 ) -> None:
     """Pool initializer: pre-import the pipeline, set up per-worker state."""
     global _WORKER
@@ -160,7 +328,11 @@ def _init_worker(
     import repro.scenarios  # noqa: F401
 
     _WORKER = TrialExecutor(
-        cache_root, telemetry=telemetry, warm=warm, capacity=capacity
+        cache_root,
+        telemetry=telemetry,
+        warm=warm,
+        capacity=capacity,
+        lockstep=lockstep,
     )
 
 
@@ -168,8 +340,8 @@ def _run_chunk(chunk: Sequence) -> List:
     """Execute one chunk of specs in a pool worker, in order."""
     executor = _WORKER
     if executor is None:  # pool built without the initializer; be safe
-        return [TrialExecutor(warm=False).run(spec) for spec in chunk]
-    return [executor.run(spec) for spec in chunk]
+        executor = TrialExecutor(warm=False)
+    return executor.run_chunk(chunk)
 
 
 # ------------------------------------------------------------ sweep dispatch
@@ -195,6 +367,7 @@ def run_spec_trials_batched(
     warm: bool = True,
     dispatch: str = "auto",
     collect: bool = True,
+    lockstep: bool = True,
 ):
     """Batched spec sweep: warm serial, or chunked over a persistent pool.
 
@@ -219,6 +392,14 @@ def run_spec_trials_batched(
     retained, and the return value is an empty list — so peak memory is
     one chunk of records, independent of ``len(specs)``.  The sweep store
     (:mod:`repro.sweeps`) runs every shard this way.
+
+    Within every strategy, consecutive specs that differ only in seed
+    (fixed-problem Monte Carlo batches) execute on the lockstep stacked
+    kernel in groups of up to :data:`LOCKSTEP_MAX_TRIALS` — process-level
+    parallelism multiplies lockstep width instead of replacing it.
+    ``lockstep=False`` forces the per-trial path everywhere (benchmarks
+    use it to measure the kernel's speedup; results are byte-identical
+    either way).
     """
     from .parallel import default_chunksize, resolve_workers
 
@@ -233,7 +414,9 @@ def run_spec_trials_batched(
     if dispatch == "auto":
         workers = min(workers, usable_cpus())
 
-    executor = TrialExecutor(root, telemetry=telemetry, warm=warm)
+    executor = TrialExecutor(
+        root, telemetry=telemetry, warm=warm, lockstep=lockstep
+    )
     records: List = []
     done = 0
 
@@ -246,8 +429,8 @@ def run_spec_trials_batched(
             progress(done, total, record)
 
     def _serial(batch) -> None:
-        for spec in batch:
-            _emit(executor.run(spec))
+        for record in executor.run_chunk(batch):
+            _emit(record)
 
     if dispatch == "serial" or (dispatch == "auto" and (workers <= 1 or total <= 1)):
         _serial(specs)
@@ -287,7 +470,9 @@ def run_spec_trials_batched(
     with ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=_init_worker,
-        initargs=(root, telemetry, warm, capacity),
+        # A ScenarioCache instance cannot cross the process boundary;
+        # workers get a fresh warm cache of the same capacity instead.
+        initargs=(root, telemetry, bool(warm), capacity, lockstep),
     ) as pool:
         # chunksize=1: each mapped item is already a chunk of specs.
         for chunk_records in pool.map(_run_chunk, chunks):

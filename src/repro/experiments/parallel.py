@@ -223,6 +223,7 @@ def run_spec_trials(
     progress: Optional[ProgressFn] = None,
     warm: bool = True,
     dispatch: str = "auto",
+    lockstep: bool = True,
 ):
     """Dispatch a list of :class:`~repro.scenarios.RunSpec` (serial/parallel).
 
@@ -252,6 +253,11 @@ def run_spec_trials(
     ``result.telemetry`` counters and pipeline ``timings`` attached, ready
     for :func:`repro.telemetry.aggregate_counters`.  ``progress`` is the
     per-trial callback of :func:`parallel_map`.
+
+    Fixed-problem seed sweeps additionally execute on the lockstep stacked
+    kernel in batches (``lockstep=False`` forces per-trial execution;
+    records are byte-identical either way — see
+    :meth:`~repro.experiments.batch.TrialExecutor.run_chunk`).
     """
     from .batch import run_spec_trials_batched
 
@@ -264,6 +270,7 @@ def run_spec_trials(
         progress=progress,
         warm=warm,
         dispatch=dispatch,
+        lockstep=lockstep,
     )
 
 

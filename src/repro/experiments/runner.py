@@ -173,6 +173,79 @@ def run_frontier_vec_trial(
     return TrialRecord(seed=seed, result=result)
 
 
+def run_frontier_trials_lockstep(
+    problem: RoutingProblem,
+    seeds: Sequence[int],
+    params: Optional[AlgorithmParams] = None,
+    condition_sets: bool = False,
+    fast_forward: bool = True,
+    max_steps: Optional[int] = None,
+    geometry=None,
+    **params_kwargs,
+) -> List[TrialRecord]:
+    """Run one frontier trial per seed on the lockstep batch kernel.
+
+    Byte-identical, per trial, to :func:`run_frontier_vec_trial` (and the
+    reference :func:`run_frontier_trial`) with the same seed: the same RNG
+    stream derivations feed one per-trial generator pair each, and the
+    stacked kernel preserves every per-trial draw order — see
+    :mod:`repro.sim.engine_lockstep`.  Requires numpy and a problem
+    without an arrival schedule; callers peel such trials off to the
+    per-trial paths.
+    """
+    from ..sim.engine_lockstep import LockstepEngine
+
+    if params is None:
+        params = resolve_trial_params(problem, **params_kwargs)
+    set_rows = None
+    if condition_sets:
+        set_rows = [
+            resample_until_bounded(
+                problem,
+                params.num_sets,
+                params.set_congestion_bound,
+                seed=stable_hash_seed(seed, 1),
+            )
+            for seed in seeds
+        ]
+    engine = LockstepEngine.frontier(
+        problem,
+        params,
+        router_seeds=[stable_hash_seed(seed, 2) for seed in seeds],
+        engine_seeds=[stable_hash_seed(seed, 3) for seed in seeds],
+        set_rows=set_rows,
+        enable_fast_forward=fast_forward,
+        geometry=geometry,
+    )
+    budget = max_steps if max_steps is not None else params.total_steps
+    results = engine.run(budget)
+    return [
+        TrialRecord(seed=seed, result=result)
+        for seed, result in zip(seeds, results)
+    ]
+
+
+def run_naive_trials_lockstep(
+    problem: RoutingProblem,
+    seeds: Sequence[int],
+    max_steps: int,
+    geometry=None,
+) -> List[RunResult]:
+    """Run the naive baseline once per seed on the lockstep batch kernel.
+
+    Byte-identical, per trial, to :func:`run_naive_vec_trial` with the
+    same seed.
+    """
+    from ..sim.engine_lockstep import LockstepEngine
+
+    engine = LockstepEngine.naive(
+        problem,
+        engine_seeds=[stable_hash_seed(seed, 5) for seed in seeds],
+        geometry=geometry,
+    )
+    return engine.run(max_steps)
+
+
 def run_naive_vec_trial(
     problem: RoutingProblem,
     seed: int,

@@ -96,11 +96,17 @@ def stable_hash_seed(*parts: Optional[int]) -> int:
 
     Unlike ``hash()``, the result does not depend on ``PYTHONHASHSEED``; used
     to derive per-(experiment, trial) seeds that are stable across runs.
+
+    Plain-int FNV-1a over 64-bit lanes (masking reproduces ``uint64``
+    wraparound exactly, so values match the original numpy-scalar
+    implementation bit for bit).  Python ints keep this fast even for the
+    hashing callers that fold whole canonical-JSON payloads byte by byte
+    (spec content/scenario hashes on every cache lookup and shard append).
     """
-    acc = np.uint64(0xCBF29CE484222325)  # FNV-1a offset basis
-    prime = np.uint64(0x100000001B3)
-    with np.errstate(over="ignore"):
-        for part in parts:
-            value = np.uint64(0 if part is None else part & 0xFFFFFFFFFFFFFFFF)
-            acc = np.uint64(acc ^ value) * prime
-    return int(acc & np.uint64(0x7FFFFFFFFFFFFFFF))
+    acc = 0xCBF29CE484222325  # FNV-1a offset basis
+    prime = 0x100000001B3
+    mask = 0xFFFFFFFFFFFFFFFF
+    for part in parts:
+        value = 0 if part is None else part & mask
+        acc = ((acc ^ value) * prime) & mask
+    return acc & 0x7FFFFFFFFFFFFFFF

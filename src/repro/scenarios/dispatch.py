@@ -41,6 +41,12 @@ class ScenarioRun:
     #: wall-clock pipeline spans (repro.telemetry.TimingSpans.to_dict());
     #: machine-dependent, so they live here — never on the RunResult
     timings: Optional[dict] = None
+    #: which execution path produced the result: "" for the ordinary
+    #: per-trial dispatch, ``"lockstep[w=K]"`` when the stacked batch
+    #: kernel ran this trial as one of K lockstep trials.  Advisory
+    #: (surfaced in sweep heartbeats) — never serialized with results,
+    #: so it cannot leak into record or shard byte-identity.
+    executor: str = ""
 
     @property
     def ok(self) -> bool:

@@ -292,10 +292,16 @@ class RunSpec:
 
         Stable across processes and machines (no ``PYTHONHASHSEED``
         dependence): the canonical JSON bytes are folded through
-        :func:`repro.rng.stable_hash_seed`.
+        :func:`repro.rng.stable_hash_seed`.  Memoized per instance — the
+        spec is frozen, so the hash can never go stale, and sweep hot
+        paths (shard writers, lockstep grouping) ask repeatedly.
         """
-        payload = self.hash_payload()
-        return format(stable_hash_seed(len(payload), *payload), "016x")
+        cached = self.__dict__.get("_content_hash_cache")
+        if cached is None:
+            payload = self.hash_payload()
+            cached = format(stable_hash_seed(len(payload), *payload), "016x")
+            object.__setattr__(self, "_content_hash_cache", cached)
+        return cached
 
     def scenario_payload(self) -> bytes:
         """Canonical JSON bytes of the *problem-determining* fields.
@@ -341,9 +347,14 @@ class RunSpec:
         Keys the in-process warm scenario cache
         (:class:`~repro.scenarios.cache.ScenarioCache`): specs sharing a
         scenario hash share one ``(network, geometry, paths)`` build.
+        Memoized per instance like :meth:`content_hash`.
         """
-        payload = self.scenario_payload()
-        return format(stable_hash_seed(len(payload), *payload), "016x")
+        cached = self.__dict__.get("_scenario_hash_cache")
+        if cached is None:
+            payload = self.scenario_payload()
+            cached = format(stable_hash_seed(len(payload), *payload), "016x")
+            object.__setattr__(self, "_scenario_hash_cache", cached)
+        return cached
 
     def describe(self) -> str:
         """One-line human summary."""

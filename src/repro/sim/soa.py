@@ -187,6 +187,108 @@ class PacketArrays:
         self.width += pad
 
 
+class StackedPacketArrays:
+    """Per-packet state for a whole *batch* of trials: ``(T, N)`` arrays.
+
+    The lockstep kernel (:mod:`repro.sim.engine_lockstep`) advances many
+    Monte Carlo trials of one shared :class:`~repro.paths.RoutingProblem`
+    at once; every :class:`PacketArrays` field gains a leading trial axis
+    (``path_buf`` becomes ``T x N x width``) while the immutable
+    ``source``/``destination`` columns stay one-dimensional — they are
+    identical across trials by construction.
+    """
+
+    __slots__ = (
+        "trials",
+        "num_packets",
+        "width",
+        "source",
+        "destination",
+        "node",
+        "path_buf",
+        "cursor",
+        "status",
+        "injected_at",
+        "absorbed_at",
+        "last_edge",
+        "last_direction",
+        "moves",
+        "deflections",
+        "unsafe_deflections",
+        "backward_moves",
+    )
+
+    _TILED = (
+        "node",
+        "path_buf",
+        "cursor",
+        "status",
+        "injected_at",
+        "absorbed_at",
+        "last_edge",
+        "last_direction",
+        "moves",
+        "deflections",
+        "unsafe_deflections",
+        "backward_moves",
+    )
+
+    def __init__(self, template: "PacketArrays", trials: int) -> None:
+        self.trials = trials
+        self.num_packets = template.num_packets
+        self.width = template.width
+        self.source = template.source.copy()
+        self.destination = template.destination.copy()
+        for name in self._TILED:
+            field = getattr(template, name)
+            setattr(self, name, np.repeat(field[None, ...], trials, axis=0))
+
+    @classmethod
+    def from_problem(
+        cls, problem: "RoutingProblem", trials: int
+    ) -> "StackedPacketArrays":
+        """Stacked per-batch state sharing the problem's cached template."""
+        template = getattr(problem, "_soa_template", None)
+        if template is None:
+            template = PacketArrays._build(problem)
+            problem._soa_template = template
+        return cls(template, trials)
+
+    def grow_front(self) -> None:
+        """Double the shared front headroom across every trial at once."""
+        pad = max(4, self.width)
+        self.path_buf = np.concatenate(
+            [
+                np.zeros(
+                    (self.trials, self.num_packets, pad), dtype=np.int64
+                ),
+                self.path_buf,
+            ],
+            axis=2,
+        )
+        self.cursor += pad
+        self.width += pad
+
+
+class StackedFrontierArrays:
+    """Frontier-frame router state with a leading trial axis.
+
+    Twin of :class:`FrontierArrays` for the lockstep kernel; ``set_index``
+    (and therefore ``injection_phase``) differs per trial because each
+    trial draws its own frontier-set assignment.
+    """
+
+    __slots__ = ("state", "wait_node", "wait_edge", "set_index", "injection_phase")
+
+    def __init__(self, set_index, injection_phase) -> None:
+        shape = set_index.shape
+        self.state = np.full(shape, 2, dtype=np.int64)  # PacketState.NORMAL
+        self.wait_node = np.full(shape, -1, dtype=np.int64)
+        self.wait_edge = np.full(shape, -1, dtype=np.int64)
+        self.set_index = np.asarray(set_index, dtype=np.int64)
+        self.injection_phase = np.asarray(injection_phase, dtype=np.int64)
+
+
 class FrontierArrays:
     """Frontier-frame router state in struct-of-arrays layout.
 
@@ -211,4 +313,6 @@ __all__ = [
     "GeometryArrays",
     "PacketArrays",
     "FrontierArrays",
+    "StackedPacketArrays",
+    "StackedFrontierArrays",
 ]

@@ -73,6 +73,11 @@ class SweepHeartbeat:
         self.executed = 0
         self.cache_hits = 0
         self.completed_trials = 0  # includes shards finished before us
+        self.lockstep_trials = 0
+        #: last execution-path tag seen ("lockstep[w=K]" or "per-trial"),
+        #: so operators can read the executor mode — and the lockstep
+        #: batch width — straight off the progress line
+        self.executor = ""
         self._started = perf_counter()
         self._last_emit = self._started
         self.records_emitted = 0
@@ -83,11 +88,17 @@ class SweepHeartbeat:
 
     # ------------------------------------------------------------ callbacks
 
-    def note_trial(self, cached: bool, trial_sec: float) -> None:
+    def note_trial(
+        self, cached: bool, trial_sec: float, executor: str = ""
+    ) -> None:
         self.executed += 1
         self.completed_trials += 1
         if cached:
             self.cache_hits += 1
+        if executor.startswith("lockstep"):
+            self.lockstep_trials += 1
+        if not cached:
+            self.executor = executor or "per-trial"
         self.spans.add("trial", trial_sec)
 
     def note_prior_trials(self, count: int) -> None:
@@ -116,6 +127,8 @@ class SweepHeartbeat:
             "eta_sec": round(remaining / rate, 1) if rate > 0 else None,
             "cache_hits": self.cache_hits,
             "elapsed_sec": round(elapsed, 3),
+            "executor": self.executor or None,
+            "lockstep_trials": self.lockstep_trials,
         }
         if final:
             record["final"] = True
@@ -193,6 +206,7 @@ def run_sweep(
     stale_after: float = DEFAULT_STALE_AFTER_SEC,
     chunksize: Optional[int] = None,
     dispatch: str = "auto",
+    lockstep: bool = True,
 ) -> SweepOutcome:
     """Execute (this invocation's share of) a sweep manifest.
 
@@ -209,7 +223,11 @@ def run_sweep(
     streaming aggregate is computed and persisted to ``aggregate.json``.
     """
     from ..experiments.batch import run_spec_trials_batched
+    from ..scenarios import ScenarioCache
 
+    # One warm scenario cache for the whole walk: fixed-problem manifests
+    # build their (network, geometry, paths) once, not once per shard.
+    warm = ScenarioCache()
     store.init()
     leases = LeaseManager(store.leases_dir, stale_after=stale_after)
     outcome = SweepOutcome(manifest_hash=manifest.manifest_hash())
@@ -256,7 +274,11 @@ def run_sweep(
                     if record.cached:
                         outcome.cache_hits += 1
                     if heartbeat is not None:
-                        heartbeat.note_trial(record.cached, now - last_mark)
+                        heartbeat.note_trial(
+                            record.cached,
+                            now - last_mark,
+                            executor=getattr(record, "executor", ""),
+                        )
                         heartbeat.maybe_emit(shard=shard)
                     last_mark = now
                     if executed % LEASE_HEARTBEAT_EVERY == 0:
@@ -272,6 +294,8 @@ def run_sweep(
                         progress=on_record,
                         dispatch=dispatch,
                         collect=False,
+                        lockstep=lockstep,
+                        warm=warm,
                     )
             store.finalize_shard(shard)
             outcome.shards.append(

@@ -124,6 +124,30 @@ def _engine_cases(smoke: bool):
     return cases
 
 
+def _profiled(profile_dir, name, fn):
+    """Run ``fn`` under cProfile when profiling is on, dumping pstats.
+
+    One ``<name>.pstats`` file per bench case (``--profile DIR``), so perf
+    investigations start from measured hot paths instead of guesses:
+    ``python -m pstats DIR/<name>.pstats``.
+    """
+    if profile_dir is None:
+        return fn()
+    import cProfile
+
+    profile_dir = pathlib.Path(profile_dir)
+    profile_dir.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        path = profile_dir / f"{name}.pstats"
+        profiler.dump_stats(path)
+        print(f"[profile] wrote {path}")
+
+
 def _streaming_run(smoke: bool):
     """One open-loop steady-state streaming run (``repro serve``'s core).
 
@@ -190,6 +214,49 @@ def time_streaming_case(smoke: bool, repeats: int, target_sec: float) -> dict:
     return best
 
 
+def _streaming_engine_case(smoke: bool):
+    """The streaming workload as a schedule-carrying problem, both kernels.
+
+    The open-loop driver (:func:`_streaming_run`) is greedy-router-only
+    and therefore exercises just the reference engine.  This replica
+    collects the same Bernoulli arrival process into an
+    :class:`~repro.traffic.ArrivalSchedule`-carrying problem and routes it
+    with the frontier algorithm on *both* engine kernels — the reference
+    :class:`~repro.sim.Engine` and the vectorized
+    :class:`~repro.sim.VecEngine` — so the streaming bench reports the
+    fast path's throughput (and its byte-identity) too, instead of only
+    the slow path.
+    """
+    from repro.core import AlgorithmParams, FrontierFrameRouter
+    from repro.net import butterfly
+    from repro.sim import Engine, VecEngine
+    from repro.traffic import (
+        BernoulliSource,
+        collect_arrivals,
+        problem_from_arrivals,
+    )
+
+    net = butterfly(4)
+    horizon = 60 if smoke else 250
+    source = BernoulliSource(net, 0.2, seed=11, horizon=horizon)
+    arrivals = collect_arrivals(source)
+    problem, _ = problem_from_arrivals(net, arrivals, seed=13)
+    params = AlgorithmParams.practical(
+        max(1, problem.congestion), net.depth, problem.num_packets
+    )
+    max_steps = params.total_steps
+
+    def ref():
+        return Engine(
+            problem, FrontierFrameRouter(params, seed=12), seed=14
+        )
+
+    def vec():
+        return VecEngine.frontier(problem, params, router_seed=12, seed=14)
+
+    return ref, vec, max_steps
+
+
 def _one_run(engine_factory, max_steps: int):
     engine = engine_factory()  # construction stays outside the timer
     start = time.perf_counter()
@@ -243,7 +310,7 @@ def _ref_vec_identical(ref_factory, vec_factory, max_steps: int) -> bool:
     return asdict(ref_result) == asdict(vec_result)
 
 
-def run_engine_bench(smoke: bool, repeats: int):
+def run_engine_bench(smoke: bool, repeats: int, profile_dir=None):
     from repro.sim import numpy_available
 
     target_sec = 0.1 if smoke else 0.5
@@ -253,6 +320,7 @@ def run_engine_bench(smoke: bool, repeats: int):
     for name, (ref, vec, max_steps) in _engine_cases(smoke).items():
         print(f"[engine] timing {name} ...", flush=True)
         cases[name] = time_engine_case(ref, max_steps, repeats, target_sec)
+        _profiled(profile_dir, name, lambda: _one_run(ref, max_steps))
         print(
             f"[engine]   {cases[name]['steps_per_sec']:>10.1f} steps/sec "
             f"({cases[name]['steps_executed']} steps in "
@@ -262,6 +330,7 @@ def run_engine_bench(smoke: bool, repeats: int):
             continue
         print(f"[engine] timing {name} (vectorized) ...", flush=True)
         timing = time_engine_case(vec, max_steps, repeats, target_sec)
+        _profiled(profile_dir, f"{name}_vec", lambda: _one_run(vec, max_steps))
         timing["vectorized_speedup"] = round(
             timing["steps_per_sec"] / cases[name]["steps_per_sec"], 3
         )
@@ -273,14 +342,45 @@ def run_engine_bench(smoke: bool, repeats: int):
             f"identical={timing['ref_vec_identical']})"
         )
     print("[engine] timing streaming_steady_state ...", flush=True)
-    cases["streaming_steady_state"] = time_streaming_case(
-        smoke, repeats, target_sec
+    streaming = time_streaming_case(smoke, repeats, target_sec)
+    _profiled(
+        profile_dir,
+        "streaming_steady_state",
+        lambda: _streaming_run(smoke)(),
     )
     print(
-        f"[engine]   {cases['streaming_steady_state']['steps_per_sec']:>10.1f} "
+        f"[engine]   {streaming['steps_per_sec']:>10.1f} "
         f"steps/sec (open-loop, "
-        f"{cases['streaming_steady_state']['packet_slots']} packet slots)"
+        f"{streaming['packet_slots']} packet slots)"
     )
+    # Satellite leg: the same streaming workload as a schedule-carrying
+    # problem, routed on both engine kernels (the open-loop driver above
+    # only exercises the reference engine's slow path).
+    sref, svec, smax = _streaming_engine_case(smoke)
+    print("[engine] timing streaming_steady_state (closed-loop ref) ...", flush=True)
+    ref_timing = time_engine_case(sref, smax, repeats, target_sec)
+    streaming["closed_loop_ref_steps_per_sec"] = ref_timing["steps_per_sec"]
+    if vec_ok:
+        print(
+            "[engine] timing streaming_steady_state (closed-loop vec) ...",
+            flush=True,
+        )
+        vec_timing = time_engine_case(svec, smax, repeats, target_sec)
+        streaming["closed_loop_vec_steps_per_sec"] = vec_timing["steps_per_sec"]
+        streaming["closed_loop_vec_speedup"] = round(
+            vec_timing["steps_per_sec"] / ref_timing["steps_per_sec"], 3
+        )
+        streaming["closed_loop_ref_vec_identical"] = _ref_vec_identical(
+            sref, svec, smax
+        )
+        print(
+            f"[engine]   closed-loop ref "
+            f"{ref_timing['steps_per_sec']:>10.1f} steps/sec, vec "
+            f"{vec_timing['steps_per_sec']:>10.1f} steps/sec "
+            f"({streaming['closed_loop_vec_speedup']:.2f}x, "
+            f"identical={streaming['closed_loop_ref_vec_identical']})"
+        )
+    cases["streaming_steady_state"] = streaming
     return cases, vec_cases if vec_ok else None
 
 
@@ -300,7 +400,7 @@ def _trial_specs(num_trials: int):
     return sweep_specs(deep_random_spec(20, 6, 12, seed=2026), num_trials)
 
 
-def run_trials_bench(smoke: bool, workers: int) -> dict:
+def run_trials_bench(smoke: bool, workers: int, profile_dir=None) -> dict:
     """Cold per-trial execution vs. the warm batched layer + identity check.
 
     Each trial is a full scenario dispatch — registry lookups, instance
@@ -309,15 +409,29 @@ def run_trials_bench(smoke: bool, workers: int) -> dict:
     leg is the production path (``run_spec_trials`` with the warm scenario
     cache and adaptive pool dispatch), so ``parallel_speedup`` measures
     what the batching layer buys end to end.
+
+    The lockstep legs then measure the stacked batch kernel against the
+    warm per-trial executor at steady state: one
+    :class:`~repro.experiments.batch.TrialExecutor` per leg, scenario
+    pre-built (the regime of every long sweep, where one problem serves
+    thousands of trials), same specs, byte-identity checked across all
+    legs.  ``lockstep_speedup`` is the kernel's trials/sec multiple over
+    the per-trial path — floor-gated via ``trials.lockstep_speedup_floor``
+    in tools/bench_baseline.json.
     """
     from repro.experiments import run_spec_trials
+    from repro.experiments.batch import TrialExecutor
 
     num_trials = 8 if smoke else 64
     specs = _trial_specs(num_trials)
 
     print(f"[trials] {num_trials} fixed-problem specs, cold serial ...", flush=True)
     start = time.perf_counter()
-    serial = run_spec_trials(specs, workers=1, warm=False, dispatch="serial")
+    # lockstep off: this leg reproduces the pre-batching execution model
+    # (fresh build + per-trial engine), the denominator of parallel_speedup.
+    serial = run_spec_trials(
+        specs, workers=1, warm=False, dispatch="serial", lockstep=False
+    )
     serial_elapsed = time.perf_counter() - start
 
     print(f"[trials] same specs, batched workers={workers} ...", flush=True)
@@ -325,8 +439,39 @@ def run_trials_bench(smoke: bool, workers: int) -> dict:
     parallel = run_spec_trials(specs, workers=workers)
     parallel_elapsed = time.perf_counter() - start
 
+    # The warm legs finish in tens of milliseconds, so take the best of a
+    # few repeats (like the engine cases) to keep the speedup ratio stable.
+    repeats = 5
+
+    def _best_of(executor):
+        executor.scenarios.problem_for(specs[0])  # steady state: warm build
+        best_elapsed, recs = None, None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            out = executor.run_chunk(specs)
+            elapsed = time.perf_counter() - start
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed, recs = elapsed, out
+        return recs, best_elapsed
+
+    print("[trials] same specs, warm per-trial (lockstep off) ...", flush=True)
+    warm_serial, warm_elapsed = _best_of(TrialExecutor(lockstep=False))
+
+    print("[trials] same specs, lockstep batch kernel ...", flush=True)
+    lockstep_exec = TrialExecutor()
+    lockstep, lockstep_elapsed = _best_of(lockstep_exec)
+    _profiled(
+        profile_dir, "trials_lockstep", lambda: lockstep_exec.run_chunk(specs)
+    )
+
     identical = _records_identical(serial, parallel)
+    lockstep_identical = _records_identical(
+        warm_serial, lockstep
+    ) and _records_identical(serial, lockstep)
     speedup = serial_elapsed / parallel_elapsed if parallel_elapsed > 0 else 0.0
+    lockstep_speedup = (
+        warm_elapsed / lockstep_elapsed if lockstep_elapsed > 0 else 0.0
+    )
     report = {
         "scenario": specs[0].name if specs else None,
         "fixed_problem": True,
@@ -340,10 +485,24 @@ def run_trials_bench(smoke: bool, workers: int) -> dict:
         "parallel_trials_per_sec": round(num_trials / parallel_elapsed, 3),
         "parallel_speedup": round(speedup, 3),
         "serial_parallel_identical": identical,
+        "warm_serial_trials_per_sec": round(num_trials / warm_elapsed, 3),
+        "lockstep_trials_per_sec": round(num_trials / lockstep_elapsed, 3),
+        "lockstep_width": max(
+            (int(r.executor.split("w=")[1].rstrip("]"))
+             for r in lockstep if r.executor.startswith("lockstep")),
+            default=0,
+        ),
+        "lockstep_speedup": round(lockstep_speedup, 3),
+        "lockstep_serial_identical": lockstep_identical,
     }
     print(
         f"[trials] cold serial {serial_elapsed:.2f}s, batched "
         f"{parallel_elapsed:.2f}s ({speedup:.2f}x), identical={identical}"
+    )
+    print(
+        f"[trials] warm per-trial {num_trials / warm_elapsed:.1f} trials/sec, "
+        f"lockstep {num_trials / lockstep_elapsed:.1f} trials/sec "
+        f"({lockstep_speedup:.2f}x, identical={lockstep_identical})"
     )
     return report
 
@@ -561,10 +720,16 @@ def main(argv=None) -> int:
         "--engine-only", action="store_true",
         help="skip the trial-throughput benchmark",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="dump a cProfile pstats file per bench case into DIR",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (1 if args.smoke else 3)
-    engine_cases, vec_cases = run_engine_bench(args.smoke, repeats)
+    engine_cases, vec_cases = run_engine_bench(
+        args.smoke, repeats, profile_dir=args.profile
+    )
 
     if args.capture_baseline:
         prior = (
@@ -704,7 +869,7 @@ def main(argv=None) -> int:
             "schema": SCHEMA_VERSION,
             "smoke": args.smoke,
             "environment": environment_info(),
-            **run_trials_bench(args.smoke, args.workers),
+            **run_trials_bench(args.smoke, args.workers, profile_dir=args.profile),
         }
         trials_report["sweep_throughput"] = run_sweep_bench(
             args.smoke, args.workers
@@ -713,6 +878,32 @@ def main(argv=None) -> int:
         if not trials_report["serial_parallel_identical"]:
             print("ERROR: serial and parallel trial results differ", file=sys.stderr)
             return 1
+        # The lockstep identity gate is unconditional (smoke included): a
+        # stacked batch whose records diverge from the per-trial path is a
+        # correctness bug in the kernel, not a perf regression.
+        if not trials_report["lockstep_serial_identical"]:
+            print(
+                "ERROR: lockstep batch records are not byte-identical to "
+                "per-trial execution",
+                file=sys.stderr,
+            )
+            return 1
+        lockstep_floor = (baseline or {}).get("trials", {}).get(
+            "lockstep_speedup_floor"
+        )
+        if lockstep_floor is not None and not args.smoke:
+            measured = trials_report["lockstep_speedup"]
+            print(
+                f"[trials] lockstep floor {lockstep_floor:.2f}x "
+                f"(measured {measured:.2f}x)"
+            )
+            if measured < lockstep_floor:
+                print(
+                    f"ERROR: lockstep_speedup {measured:.2f}x fell below "
+                    f"the recorded floor {lockstep_floor:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
         # The resume-identity gate is unconditional (smoke included): a
         # resumed shard whose bytes differ from an uninterrupted run is a
         # correctness bug in the store, not a perf regression.
